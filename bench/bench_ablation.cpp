@@ -1,0 +1,72 @@
+// Ablation study — which design ingredient buys which rounds?
+//
+// Two ladders on the coordinated-silence family (k of the t faulty agents
+// silent, all-one preferences — the regime where information matters):
+//
+//  1. Exchange ladder, fixed decision logic shape: E_min (decision
+//     announcements only) -> E_basic (adds the (init,1) gossip and the #1
+//     counting rule) -> E_fip (full communication graphs).
+//
+//  2. Common-knowledge ablation within the FIP: P_opt with the
+//     C_N(t-faulty ∧ ...) lines disabled is exactly P0 evaluated over the
+//     full-information exchange — still correct (Prop 6.1 holds in every
+//     EBA context), but it forfeits the round-3 shortcut of Example 7.1,
+//     showing the optimality of P1 is *entirely* due to the common-
+//     knowledge test (§7: P1 differs from P0 only in those lines).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace eba::bench {
+namespace {
+
+int worst_round(const RunSummary& s, AgentSet nonfaulty) {
+  int worst = 0;
+  for (AgentId i : nonfaulty) worst = std::max(worst, s.round_of(i));
+  return worst;
+}
+
+void run() {
+  banner("Ablation — exchange richness and the common-knowledge lines",
+         "Rows: k silent faulty agents out of t, all-one preferences. "
+         "Columns: worst nonfaulty decision round.");
+
+  const int n = 12;
+  const int t = 5;
+  const auto mini = make_min_driver(n, t);
+  const auto basic = make_basic_driver(n, t);
+  const auto fip_p0 = make_fip_p0_driver(n, t);
+  const auto fip = make_fip_driver(n, t);
+
+  Table table({"k silent", "P_min (E_min)", "P_basic (E_basic)",
+               "P0 on E_fip (no CK)", "P_opt (P1 on E_fip)"});
+  for (int k = 1; k <= t; ++k) {
+    AgentSet silent;
+    for (AgentId i = 0; i < k; ++i) silent.insert(i);
+    const auto alpha = silent_agents_pattern(n, silent, t + 3);
+    const auto prefs = all_ones(n);
+    table.row(k, worst_round(mini(alpha, prefs), alpha.nonfaulty()),
+              worst_round(basic(alpha, prefs), alpha.nonfaulty()),
+              worst_round(fip_p0(alpha, prefs), alpha.nonfaulty()),
+              worst_round(fip(alpha, prefs), alpha.nonfaulty()));
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReadings:\n"
+         "  * E_min -> E_basic: the (init,1) gossip converts silence into\n"
+         "    counting evidence, decision at round k+2 instead of t+2.\n"
+         "  * E_basic -> E_fip without common knowledge: nothing! P0's tests\n"
+         "    extract no more from full graphs than #1 does on this family —\n"
+         "    the paper's point that limited exchange is surprisingly strong.\n"
+         "  * adding the common-knowledge lines (P1): the k = t row drops to\n"
+         "    round 3 — the entire FIP advantage lives in the C_N test.\n";
+}
+
+}  // namespace
+}  // namespace eba::bench
+
+int main() {
+  eba::bench::run();
+  return 0;
+}

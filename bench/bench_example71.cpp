@@ -1,0 +1,66 @@
+// Example 7.1 — the full-information advantage under coordinated silence.
+//
+// Paper claim: with n = 20, t = 10, all initial preferences 1, and the ten
+// faulty agents sending nothing, the nonfaulty agents decide in round 12
+// under P_min and P_basic but already in round 3 under the (optimal) FIP:
+// one round to detect the t silent agents, one round to make the detection
+// common knowledge.
+//
+// We reproduce the exact example, then sweep the number of silent faulty
+// agents k = 1..t. For k < t the k silent agents are the only hidden-chain
+// candidates, so P_basic's counting test and the FIP's Hall-type cond_1 test
+// both fire in round k+2 — they coincide exactly. Only at k = t does the
+// silent set pin down the entire faulty set, making C_N(t-faulty) available
+// and letting the FIP decide in round 3 while P_basic still needs round t+2.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+namespace eba::bench {
+namespace {
+
+int worst_nonfaulty_round(const RunSummary& s, AgentSet nonfaulty) {
+  int worst = 0;
+  for (AgentId i : nonfaulty) worst = std::max(worst, s.round_of(i));
+  return worst;
+}
+
+void run() {
+  banner("Example 7.1 — n=20, t=10, all-one preferences, silent faulty agents",
+         "Claim: nonfaulty agents decide in round 12 with P_min/P_basic and "
+         "in round 3 with the FIP.");
+
+  const int n = 20;
+  const int t = 10;
+
+  Table table({"silent faulty k", "P_min round", "P_basic round", "P_fip round",
+               "paper (k=t)"});
+  for (int k = 1; k <= t; ++k) {
+    AgentSet silent;
+    for (AgentId i = 0; i < k; ++i) silent.insert(i);
+    const auto alpha = silent_agents_pattern(n, silent, t + 3);
+    const auto prefs = all_ones(n);
+    const RunSummary m = make_min_driver(n, t)(alpha, prefs);
+    const RunSummary b = make_basic_driver(n, t)(alpha, prefs);
+    const RunSummary f = make_fip_driver(n, t)(alpha, prefs);
+    table.row(k, worst_nonfaulty_round(m, alpha.nonfaulty()),
+              worst_nonfaulty_round(b, alpha.nonfaulty()),
+              worst_nonfaulty_round(f, alpha.nonfaulty()),
+              k == t ? "12 / 12 / 3" : "-");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe k = t row is the paper's example: the FIP converts "
+               "distributed detection of all\nt faults into common knowledge "
+               "one round later and decides immediately, while the\n"
+               "limited-information protocols must wait out the hidden-chain "
+               "window of t+1 rounds.\n";
+}
+
+}  // namespace
+}  // namespace eba::bench
+
+int main() {
+  eba::bench::run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Performance microbenchmarks (Prop 7.9 — P_opt is polynomial time).
+//
+// google-benchmark timings for the building blocks of the polynomial-time
+// optimal FIP — graph merge, cone construction, view extraction, the
+// common/cond tests — and end-to-end run simulation for all three
+// protocols, as a function of n. Near-polynomial scaling in n is the
+// empirical counterpart of Prop 7.9.
+#include <benchmark/benchmark.h>
+
+#include "action/p_basic.hpp"
+#include "action/p_min.hpp"
+#include "action/p_opt.hpp"
+#include "bench_util.hpp"
+#include "graph/knowledge.hpp"
+#include "net/serialize.hpp"
+#include "sim/simulator.hpp"
+
+namespace eba::bench {
+namespace {
+
+/// A realistic mid-run FIP state: t silent faulty agents, everyone else
+/// chattering, observed at time `rounds`.
+FipState sample_state(int n, int t, int rounds) {
+  const auto alpha = silent_agents_pattern(
+      n, AgentSet::all(n).minus(AgentSet::all(n - t)), rounds + 1);
+  auto noop = [](const FipState&) { return Action::noop(); };
+  SimulateOptions opt;
+  opt.max_rounds = rounds;
+  opt.stop_when_all_decided = false;
+  auto run = simulate(FipExchange(n), noop, alpha, all_ones(n), t, opt);
+  return run.states.back()[0];
+}
+
+void BM_GraphMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const FipState a = sample_state(n, t, t + 2);
+  const FipState b = sample_state(n, t, t + 1);
+  for (auto _ : state) {
+    CommGraph g = a.graph;
+    g.merge(b.graph);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GraphMerge)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ConeConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const FipState s = sample_state(n, t, t + 2);
+  for (auto _ : state) {
+    Cone cone(s.graph, 0, s.graph.time());
+    benchmark::DoNotOptimize(cone);
+  }
+}
+BENCHMARK(BM_ConeConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExtractView(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const FipState s = sample_state(n, t, t + 2);
+  const int m = s.graph.time() - 1;
+  // Agent 1 is nonfaulty in sample_state, so (1, m) is in the cone.
+  for (auto _ : state) {
+    CommGraph view = extract_view(s.graph, 1, m);
+    benchmark::DoNotOptimize(view);
+  }
+}
+BENCHMARK(BM_ExtractView)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CommonTest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const FipState s = sample_state(n, t, t + 2);
+  const POpt p(n, t);
+  p.infer_actions(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        POpt::common_test(s.graph, 0, Value::one, t, s.inferred));
+  }
+}
+BENCHMARK(BM_CommonTest)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Cond1Test(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4;
+  const FipState s = sample_state(n, t, t + 2);
+  const POpt p(n, t);
+  p.infer_actions(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(POpt::cond1_test(s.graph, 0, s.inferred));
+  }
+}
+BENCHMARK(BM_Cond1Test)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GraphSerialize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const FipState s = sample_state(n, n / 4, n / 4 + 2);
+  for (auto _ : state) {
+    Writer w;
+    encode_graph(w, s.graph);
+    benchmark::DoNotOptimize(w.take());
+  }
+}
+BENCHMARK(BM_GraphSerialize)->Arg(8)->Arg(16)->Arg(32);
+
+template <class MakeDriver>
+void run_full(benchmark::State& state, const MakeDriver& make) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = n / 4 >= 1 ? n / 4 : 1;
+  const auto drive = make(n, t);
+  const auto alpha = hidden_chain_pattern(n, t, t + 3);
+  const auto prefs = one_zero(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drive(alpha, prefs));
+  }
+}
+
+void BM_FullRunPMin(benchmark::State& state) {
+  run_full(state, [](int n, int t) { return make_min_driver(n, t); });
+}
+BENCHMARK(BM_FullRunPMin)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FullRunPBasic(benchmark::State& state) {
+  run_full(state, [](int n, int t) { return make_basic_driver(n, t); });
+}
+BENCHMARK(BM_FullRunPBasic)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FullRunPOpt(benchmark::State& state) {
+  run_full(state, [](int n, int t) { return make_fip_driver(n, t); });
+}
+BENCHMARK(BM_FullRunPOpt)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+}  // namespace eba::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Proposition 8.2 — decision rounds in failure-free runs.
+//
+// Paper claim:
+//  (a) if at least one agent prefers 0, all agents decide by round 2 under
+//      P_min, P_basic and the FIP;
+//  (b) if all agents prefer 1, P_min decides in round t+2 while P_basic and
+//      the FIP decide in round 2.
+//
+// We sweep n and t, exhaustively covering every preference vector with a 0
+// for small n and sampling for larger n, and report the worst (latest)
+// decision round over all agents and runs per protocol and case.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "stats/rng.hpp"
+
+namespace eba::bench {
+namespace {
+
+void run() {
+  banner("Proposition 8.2 — failure-free decision rounds",
+         "Claim: with a 0 present all protocols finish by round 2; all-ones "
+         "runs take round t+2 for P_min\nbut round 2 for P_basic and P_fip.");
+
+  Table table({"n", "t", "case", "P_min worst round", "P_basic worst round",
+               "P_fip worst round", "paper"});
+  Rng rng(2023);
+
+  for (const int n : {3, 4, 6, 8, 12, 16, 24, 32}) {
+    int prev_t = 0;
+    for (const int t : {1, n / 3, n - 2}) {
+      if (t < 1 || n - t < 2 || t == prev_t) continue;
+      prev_t = t;
+      const auto alpha = FailurePattern::failure_free(n);
+      const auto drivers = paper_drivers(n, t);
+
+      // Case (a): preference vectors containing at least one 0.
+      std::vector<std::vector<Value>> with_zero;
+      if (n <= 8) {
+        for (auto& p : all_preference_vectors(n)) {
+          bool has0 = false;
+          for (Value v : p) has0 = has0 || v == Value::zero;
+          if (has0) with_zero.push_back(std::move(p));
+        }
+      } else {
+        for (int k = 0; k < 32; ++k) {
+          auto p = sample_preferences(n, rng);
+          p[static_cast<std::size_t>(rng.below(n))] = Value::zero;
+          with_zero.push_back(std::move(p));
+        }
+      }
+      std::vector<int> worst_a(3, 0);
+      for (const auto& prefs : with_zero) {
+        for (std::size_t d = 0; d < drivers.size(); ++d) {
+          const RunSummary s = drivers[d].run(alpha, prefs);
+          for (AgentId i = 0; i < n; ++i)
+            worst_a[d] = std::max(worst_a[d], s.round_of(i));
+        }
+      }
+      table.row(n, t, "exists-0", worst_a[0], worst_a[1], worst_a[2],
+                "all <= 2");
+
+      // Case (b): the all-ones run.
+      std::vector<int> worst_b(3, 0);
+      for (std::size_t d = 0; d < drivers.size(); ++d) {
+        const RunSummary s = drivers[d].run(alpha, all_ones(n));
+        for (AgentId i = 0; i < n; ++i)
+          worst_b[d] = std::max(worst_b[d], s.round_of(i));
+      }
+      table.row(n, t, "all-ones", worst_b[0], worst_b[1], worst_b[2],
+                "t+2 = " + std::to_string(t + 2) + " / 2 / 2");
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace eba::bench
+
+int main() {
+  eba::bench::run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Knowledge-based-program synthesis demo: derive a concrete protocol from
+// the knowledge-based program P0 in the minimal context γ_min (n=3, t=1) by
+// the round-by-round construction, print the synthesized decision table,
+// and verify it coincides with the paper's hand-written P_min (Thm 6.5).
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "action/p_min.hpp"
+#include "failure/generators.hpp"
+#include "kripke/synthesis.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace eba;
+  const int n = 3;
+  const int t = 1;
+
+  // The context: every SO(1) adversary with drops in the first two rounds,
+  // every preference vector.
+  std::vector<std::pair<FailurePattern, std::vector<Value>>> worlds;
+  const auto prefs = all_preference_vectors(n);
+  enumerate_adversaries(EnumerationConfig{.n = n, .t = t, .rounds = 2},
+                        [&](const FailurePattern& alpha) {
+                          for (const auto& p : prefs)
+                            worlds.emplace_back(alpha, p);
+                          return true;
+                        });
+  std::cout << "synthesizing an implementation of P0 over " << worlds.size()
+            << " worlds of gamma_min(n=3, t=1)...\n\n";
+
+  KbpSynthesizer<MinExchange> synth(MinExchange(n), t, KbpProgram::p0);
+  const auto result = synth.run(worlds, /*horizon=*/4);
+
+  // Sort reachable states for a stable, readable table.
+  std::vector<MinState> states;
+  states.reserve(result.table.size());
+  for (const auto& [s, a] : result.table) states.push_back(s);
+  std::sort(states.begin(), states.end(), [](const MinState& a, const MinState& b) {
+    auto key = [](const MinState& s) {
+      auto enc = [](const std::optional<Value>& v) {
+        return v ? 1 + to_int(*v) : 0;
+      };
+      return std::tuple(s.time, to_int(s.init), enc(s.decided), enc(s.jd));
+    };
+    return key(a) < key(b);
+  });
+
+  const PMin pmin(n, t);
+  Table table({"time", "init", "decided", "jd", "synthesized from P0",
+               "P_min (paper)", "match"});
+  bool all_match = true;
+  for (const MinState& s : states) {
+    const Action synthesized = result.table.at(s);
+    const Action paper = pmin(s);
+    all_match = all_match && synthesized == paper;
+    table.row(s.time, to_string(s.init), to_string(s.decided), to_string(s.jd),
+              to_string(synthesized), to_string(paper),
+              synthesized == paper ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << result.table.size() << " reachable local states; "
+            << (all_match ? "the synthesized protocol IS P_min (Thm 6.5)."
+                          : "MISMATCH with P_min — Thm 6.5 violated!")
+            << '\n';
+  return all_match ? 0 : 1;
+}

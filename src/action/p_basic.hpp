@@ -1,0 +1,38 @@
+// P_basic: the action protocol implementing P0 in the basic context γ_basic
+// (paper §6, Thm 6.6):
+//
+//   if decided                  -> noop
+//   if init=0 or jd=0           -> decide(0)
+//   if #1 > n - time or jd=1    -> decide(1)
+//   otherwise                   -> noop
+//
+// The #1 test detects that too few agents remain silent for a hidden
+// 0-chain of the current length to exist.
+#pragma once
+
+#include "core/types.hpp"
+#include "exchange/basic.hpp"
+
+namespace eba {
+
+class PBasic {
+ public:
+  /// Requires n - t >= 2, the hypothesis of Theorem 6.6.
+  PBasic(int n, int t) : n_(n) {
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "P_basic requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] Action operator()(const BasicState& s) const {
+    if (s.decided) return Action::noop();
+    if (s.init == Value::zero || s.jd == Value::zero)
+      return Action::decide(Value::zero);
+    if (s.ones > n_ - s.time || s.jd == Value::one)
+      return Action::decide(Value::one);
+    return Action::noop();
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace eba

@@ -1,0 +1,36 @@
+// P_min: the standard action protocol implementing P0 in the minimal
+// context γ_min (paper §6, Thm 6.5):
+//
+//   if decided        -> noop
+//   if init=0 or jd=0 -> decide(0)
+//   if time = t+1     -> decide(1)
+//   otherwise         -> noop
+#pragma once
+
+#include "core/types.hpp"
+#include "exchange/min.hpp"
+
+namespace eba {
+
+class PMin {
+ public:
+  /// Requires n - t >= 2, the hypothesis of Theorem 6.5.
+  PMin(int n, int t) : t_(t) {
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "P_min requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] Action operator()(const MinState& s) const {
+    if (s.decided) return Action::noop();
+    if (s.init == Value::zero || s.jd == Value::zero)
+      return Action::decide(Value::zero);
+    if (s.time == t_ + 1) return Action::decide(Value::one);
+    return Action::noop();
+  }
+
+  [[nodiscard]] int t() const { return t_; }
+
+ private:
+  int t_;
+};
+
+}  // namespace eba

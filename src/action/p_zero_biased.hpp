@@ -1,0 +1,38 @@
+// The classic 0-biased action protocol over E_relay (paper §1):
+//
+//   if decided          -> noop
+//   if knows0           -> decide(0)     (decide 0 as soon as ∃0 is learned)
+//   if time = t+1       -> decide(1)
+//   otherwise           -> noop
+//
+// Under crash failures this is a correct EBA protocol (hearing about a 0 can
+// only happen through live relays, so knowledge of ∃0 among nonfaulty agents
+// is uniform by time t+1). Under sending-omission failures it is NOT: a
+// faulty agent can withhold the 0 and release it to exactly one agent in
+// round t+1, splitting the nonfaulty decisions — the paper's introductory
+// impossibility argument, reproduced in tests/test_impossibility.cpp.
+#pragma once
+
+#include "core/types.hpp"
+#include "exchange/relay.hpp"
+
+namespace eba {
+
+class PZeroBiased {
+ public:
+  PZeroBiased(int n, int t) : t_(t) {
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] Action operator()(const RelayState& s) const {
+    if (s.decided) return Action::noop();
+    if (s.knows0) return Action::decide(Value::zero);
+    if (s.time == t_ + 1) return Action::decide(Value::one);
+    return Action::noop();
+  }
+
+ private:
+  int t_;
+};
+
+}  // namespace eba

@@ -1,0 +1,79 @@
+// Small, value-semantic set of agent ids backed by a 64-bit mask.
+//
+// The library supports up to kMaxAgents agents; every subset of agents that
+// the protocols reason about (nonfaulty sets, delivery sets, knowledge sets)
+// is an AgentSet. Iteration yields ids in increasing order.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+
+#include "core/assert.hpp"
+
+namespace eba {
+
+using AgentId = int;
+
+inline constexpr int kMaxAgents = 64;
+
+class AgentSet {
+ public:
+  constexpr AgentSet() = default;
+  constexpr explicit AgentSet(std::uint64_t bits) : bits_(bits) {}
+  AgentSet(std::initializer_list<AgentId> ids) {
+    for (AgentId id : ids) insert(id);
+  }
+
+  /// The full set {0, ..., n-1}.
+  static AgentSet all(int n) {
+    EBA_REQUIRE(n >= 0 && n <= kMaxAgents, "agent count out of range");
+    return n == kMaxAgents ? AgentSet(~std::uint64_t{0})
+                           : AgentSet((std::uint64_t{1} << n) - 1);
+  }
+
+  void insert(AgentId id) {
+    EBA_REQUIRE(id >= 0 && id < kMaxAgents, "agent id out of range");
+    bits_ |= std::uint64_t{1} << id;
+  }
+  void erase(AgentId id) {
+    EBA_REQUIRE(id >= 0 && id < kMaxAgents, "agent id out of range");
+    bits_ &= ~(std::uint64_t{1} << id);
+  }
+  [[nodiscard]] bool contains(AgentId id) const {
+    return id >= 0 && id < kMaxAgents && (bits_ >> id) & 1u;
+  }
+  [[nodiscard]] int size() const { return std::popcount(bits_); }
+  [[nodiscard]] bool empty() const { return bits_ == 0; }
+  [[nodiscard]] std::uint64_t bits() const { return bits_; }
+
+  [[nodiscard]] AgentSet united(AgentSet o) const { return AgentSet(bits_ | o.bits_); }
+  [[nodiscard]] AgentSet intersected(AgentSet o) const { return AgentSet(bits_ & o.bits_); }
+  [[nodiscard]] AgentSet minus(AgentSet o) const { return AgentSet(bits_ & ~o.bits_); }
+  [[nodiscard]] AgentSet complement(int n) const { return all(n).minus(*this); }
+  [[nodiscard]] bool subset_of(AgentSet o) const { return (bits_ & ~o.bits_) == 0; }
+
+  friend bool operator==(AgentSet, AgentSet) = default;
+
+  /// Forward iterator over member ids in increasing order.
+  class iterator {
+   public:
+    constexpr explicit iterator(std::uint64_t rest) : rest_(rest) {}
+    AgentId operator*() const { return std::countr_zero(rest_); }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;
+      return *this;
+    }
+    friend bool operator==(iterator, iterator) = default;
+
+   private:
+    std::uint64_t rest_;
+  };
+  [[nodiscard]] iterator begin() const { return iterator(bits_); }
+  [[nodiscard]] iterator end() const { return iterator(0); }
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace eba

@@ -1,0 +1,27 @@
+// Contract-checking macro used across the library.
+//
+// Violations indicate caller bugs (broken preconditions) or internal
+// invariant breakage; both throw so that tests can observe them and
+// applications fail loudly instead of silently corrupting a run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eba::detail {
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw std::logic_error(std::string("EBA contract violated: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace eba::detail
+
+#define EBA_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) ::eba::detail::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define EBA_ASSERT(expr) EBA_REQUIRE(expr, "")

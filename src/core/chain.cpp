@@ -1,0 +1,91 @@
+#include "core/chain.hpp"
+
+#include <algorithm>
+
+namespace eba {
+namespace {
+
+/// first_decide0[i] = state time m at which i's first decide(0) was chosen
+/// (so the decision is performed in round m+1), or -1.
+std::vector<int> first_decide0_times(const RunRecord& r) {
+  std::vector<int> out(static_cast<std::size_t>(r.n), -1);
+  for (AgentId i = 0; i < r.n; ++i) {
+    auto d = r.decision(i);
+    if (d && d->value == Value::zero)
+      out[static_cast<std::size_t>(i)] = d->round - 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+ZeroChainAnalysis analyze_zero_chains(const RunRecord& r) {
+  const std::vector<int> t0 = first_decide0_times(r);
+  ZeroChainAnalysis out;
+  out.chain_end_time.assign(static_cast<std::size_t>(r.n), -1);
+
+  // on_chain[i] = true if i occupies position t0[i] of some 0-chain.
+  // Position 0 requires init 0; position k requires a delivered round-k
+  // decision message from an on-chain agent at position k-1. Distinctness is
+  // automatic: an agent has a single first-decision time.
+  std::vector<char> on_chain(static_cast<std::size_t>(r.n), 0);
+  const int max_time = r.rounds;
+  for (int m = 0; m < max_time; ++m) {
+    for (AgentId i = 0; i < r.n; ++i) {
+      if (t0[static_cast<std::size_t>(i)] != m) continue;
+      bool ok = false;
+      if (m == 0) {
+        ok = r.inits[static_cast<std::size_t>(i)] == Value::zero;
+      } else {
+        for (AgentId j = 0; j < r.n; ++j) {
+          if (j == i || !on_chain[static_cast<std::size_t>(j)]) continue;
+          if (t0[static_cast<std::size_t>(j)] != m - 1) continue;
+          if (r.delivered[static_cast<std::size_t>(m - 1)]
+                         [static_cast<std::size_t>(j)]
+                  .contains(i)) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        on_chain[static_cast<std::size_t>(i)] = 1;
+        out.chain_end_time[static_cast<std::size_t>(i)] = m;
+        out.longest = std::max(out.longest, m);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<AgentId> longest_zero_chain(const RunRecord& r) {
+  const ZeroChainAnalysis a = analyze_zero_chains(r);
+  if (a.longest < 0) return {};
+
+  // Walk backwards from an agent ending a longest chain: the predecessor at
+  // position m-1 is any on-chain agent whose round-m decision message reached
+  // the current agent.
+  std::vector<AgentId> chain(static_cast<std::size_t>(a.longest + 1), -1);
+  AgentId cur = -1;
+  for (AgentId i = 0; i < r.n && cur < 0; ++i)
+    if (a.chain_end_time[static_cast<std::size_t>(i)] == a.longest) cur = i;
+  EBA_ASSERT(cur >= 0);
+  chain[static_cast<std::size_t>(a.longest)] = cur;
+  for (int m = a.longest; m > 0; --m) {
+    AgentId prev = -1;
+    for (AgentId j = 0; j < r.n && prev < 0; ++j) {
+      if (j == cur) continue;
+      if (a.chain_end_time[static_cast<std::size_t>(j)] == m - 1 &&
+          r.delivered[static_cast<std::size_t>(m - 1)]
+                     [static_cast<std::size_t>(j)]
+              .contains(cur))
+        prev = j;
+    }
+    EBA_ASSERT(prev >= 0);
+    chain[static_cast<std::size_t>(m - 1)] = prev;
+    cur = prev;
+  }
+  return chain;
+}
+
+}  // namespace eba

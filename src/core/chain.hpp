@@ -1,0 +1,39 @@
+// 0-chain analysis (paper §6).
+//
+// A sequence of distinct agents i_0, ..., i_m is a 0-chain of length m in a
+// run if (a) init_{i_0} = 0, (b) agent i_k first decides 0 in round k+1, and
+// (c) for k >= 1, agent i_k learns in round k that i_{k-1} just decided 0
+// (operationally: it received i_{k-1}'s round-k decision message).
+//
+// These functions analyse a recorded run; they are used by the spec-level
+// tests and by the safety-condition checks of Proposition 6.4.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+/// Per-agent 0-chain facts for one run.
+struct ZeroChainAnalysis {
+  /// chain_end_time[i] = m if a 0-chain of length m ends with agent i
+  /// (equivalently, i "receives a 0-chain in round m"), or -1.
+  std::vector<int> chain_end_time;
+  /// Longest 0-chain in the run, or -1 if there is none.
+  int longest = -1;
+
+  [[nodiscard]] bool receives_chain(AgentId i, int m) const {
+    return chain_end_time[static_cast<std::size_t>(i)] == m;
+  }
+};
+
+/// Computes 0-chains from the decision/delivery structure of a run.
+[[nodiscard]] ZeroChainAnalysis analyze_zero_chains(const RunRecord& record);
+
+/// The agents forming one longest 0-chain (positions 0..longest), or empty if
+/// the run has no 0-chain. Useful for diagnostics and tests.
+[[nodiscard]] std::vector<AgentId> longest_zero_chain(const RunRecord& record);
+
+}  // namespace eba

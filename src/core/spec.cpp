@@ -1,0 +1,81 @@
+#include "core/spec.hpp"
+
+#include <optional>
+
+namespace eba {
+namespace {
+
+std::string agent(AgentId i) { return "agent " + std::to_string(i); }
+
+}  // namespace
+
+SpecReport check_eba(const RunRecord& r) {
+  EBA_REQUIRE(r.n > 0, "empty run record");
+  EBA_REQUIRE(static_cast<int>(r.inits.size()) == r.n, "inits size mismatch");
+  SpecReport rep;
+
+  // Unique Decision: at most one decide action per agent.
+  for (AgentId i = 0; i < r.n; ++i) {
+    int decides = 0;
+    for (const auto& round : r.actions)
+      if (round[static_cast<std::size_t>(i)].is_decide()) ++decides;
+    if (decides > 1) {
+      rep.unique_decision = false;
+      rep.violations.push_back(agent(i) + " decided " + std::to_string(decides) +
+                               " times");
+    }
+  }
+
+  // Agreement: nonfaulty deciders agree.
+  std::optional<Value> nonfaulty_value;
+  for (AgentId i : r.nonfaulty) {
+    auto d = r.decision(i);
+    if (!d) continue;
+    if (!nonfaulty_value) {
+      nonfaulty_value = d->value;
+    } else if (*nonfaulty_value != d->value) {
+      rep.agreement = false;
+      rep.violations.push_back("nonfaulty agents decided both values");
+    }
+  }
+
+  // Validity: a decider's value must be some agent's initial preference.
+  auto exists_init = [&](Value v) {
+    for (Value x : r.inits)
+      if (x == v) return true;
+    return false;
+  };
+  for (AgentId i = 0; i < r.n; ++i) {
+    auto d = r.decision(i);
+    if (!d || exists_init(d->value)) continue;
+    if (r.nonfaulty.contains(i)) {
+      rep.validity = false;
+      rep.violations.push_back(agent(i) + " (nonfaulty) decided " +
+                               to_string(d->value) + " but no agent prefers it");
+    } else {
+      rep.validity_all = false;
+      rep.violations.push_back(agent(i) + " (faulty) decided " +
+                               to_string(d->value) + " but no agent prefers it");
+    }
+  }
+
+  // Termination: every nonfaulty agent decides; bound: by round t+2.
+  for (AgentId i : r.nonfaulty) {
+    auto d = r.decision(i);
+    if (!d) {
+      rep.termination = false;
+      rep.termination_bound = false;
+      rep.violations.push_back(agent(i) + " (nonfaulty) never decided in " +
+                               std::to_string(r.rounds) + " rounds");
+    } else if (d->round > r.t + 2) {
+      rep.termination_bound = false;
+      rep.violations.push_back(agent(i) + " decided in round " +
+                               std::to_string(d->round) + " > t+2 = " +
+                               std::to_string(r.t + 2));
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace eba

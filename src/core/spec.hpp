@@ -1,0 +1,38 @@
+// Checker for the four EBA correctness properties (paper §5):
+// Unique Decision, Agreement, Validity, Termination, plus the round-(t+2)
+// termination bound of Proposition 6.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+/// Result of checking one run against the EBA specification. `ok()` is true
+/// iff all four properties hold; individual flags and human-readable
+/// violation messages are available for diagnostics.
+struct SpecReport {
+  bool unique_decision = true;
+  bool agreement = true;
+  bool validity = true;           ///< checked for nonfaulty deciders
+  bool validity_all = true;       ///< Prop 6.1: Validity even for faulty agents
+  bool termination = true;        ///< all nonfaulty agents decide in the run
+  bool termination_bound = true;  ///< ... and no later than round t+2
+
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const {
+    return unique_decision && agreement && validity && termination;
+  }
+  [[nodiscard]] bool ok_strict() const {
+    return ok() && validity_all && termination_bound;
+  }
+};
+
+/// Checks `record` against the EBA specification. The record must cover at
+/// least t+2 rounds for the termination checks to be meaningful.
+[[nodiscard]] SpecReport check_eba(const RunRecord& record);
+
+}  // namespace eba

@@ -1,0 +1,44 @@
+#include "exchange/basic.hpp"
+
+#include "exchange/exchange.hpp"
+
+namespace eba {
+
+std::size_t hash_value(const BasicState& s) {
+  auto enc = [](const std::optional<Value>& v) -> std::size_t {
+    return v ? (*v == Value::zero ? 1u : 2u) : 0u;
+  };
+  std::size_t h = static_cast<std::size_t>(s.time);
+  h = h * 31 + static_cast<std::size_t>(to_int(s.init));
+  h = h * 31 + enc(s.decided);
+  h = h * 31 + enc(s.jd);
+  h = h * 31 + static_cast<std::size_t>(s.ones);
+  return h;
+}
+
+void BasicExchange::update(State& s, const Action& a,
+                           std::span<const std::optional<Message>> inbox) const {
+  EBA_REQUIRE(static_cast<int>(inbox.size()) == n_, "inbox size mismatch");
+  s.time += 1;
+  if (a.is_decide()) {
+    EBA_REQUIRE(!s.decided, "double decision reached the exchange");
+    s.decided = a.value();
+  }
+  bool heard0 = false;
+  bool heard1 = false;
+  int ones = 0;
+  for (const auto& m : inbox) {
+    if (!m) continue;
+    switch (*m) {
+      case BasicMsg::decide0: heard0 = true; break;
+      case BasicMsg::decide1: heard1 = true; break;
+      case BasicMsg::init1: ++ones; break;
+    }
+  }
+  s.jd = jd_from_decisions(heard0, heard1);
+  // #1 is tracked only while undecided and while no decision message was
+  // received this round (paper §6: "otherwise, #1 is set to 0").
+  s.ones = (!s.decided && !heard0 && !heard1) ? ones : 0;
+}
+
+}  // namespace eba

@@ -1,0 +1,53 @@
+// The information-exchange protocol concept (paper §3).
+//
+// An exchange protocol E_i = ⟨L_i, I_i, A_i, M_i, µ_i, δ_i⟩ is modelled as a
+// value type X with:
+//   X::State                      — local states L_i (must expose the EBA
+//                                   fields time/init/decided, paper §5)
+//   X::Message                    — the message alphabet M_i
+//   X::State initial_state(i, v)  — the initial state I_i for preference v
+//   std::optional<Message> message(state, action, dest)
+//                                 — µ_i; nullopt is ⊥ (no message)
+//   std::size_t message_bits(msg) — size accounting for Prop 8.1
+//   void update(state, action, inbox)
+//                                 — δ_i; inbox[j] is the message received
+//                                   from agent j this round (nullopt = ⊥)
+//
+// All exchanges in this library satisfy the EBA-context constraint on µ:
+// the message sent when performing decide(v) is distinguishable from all
+// other messages, so receivers can maintain jd ("just decided").
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+template <class X>
+concept ExchangeProtocol = requires(const X x, typename X::State s,
+                                    typename X::State& sref, Action a,
+                                    AgentId i,
+                                    std::span<const std::optional<typename X::Message>> inbox) {
+  { x.initial_state(i, Value::zero) } -> std::same_as<typename X::State>;
+  { x.message(s, a, i) } -> std::same_as<std::optional<typename X::Message>>;
+  { x.message_bits(std::declval<typename X::Message>()) } -> std::convertible_to<std::size_t>;
+  { x.update(sref, a, inbox) };
+  { x.n() } -> std::convertible_to<int>;
+};
+
+/// Derives the jd ("some agent just decided v") field from the decision
+/// messages received this round. If both a 0-decision and a 1-decision are
+/// heard, 0 wins, matching the priority of the decide-0 branch in the
+/// knowledge-based programs.
+[[nodiscard]] inline std::optional<Value> jd_from_decisions(bool heard0,
+                                                            bool heard1) {
+  if (heard0) return Value::zero;
+  if (heard1) return Value::one;
+  return std::nullopt;
+}
+
+}  // namespace eba

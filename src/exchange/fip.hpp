@@ -1,0 +1,98 @@
+// E_fip(n): the full-information exchange (paper §7, §A.2.7).
+//
+// Local states are ⟨time, init, G⟩ where G is the agent's communication
+// graph; every round every agent broadcasts its current graph. Per §7 the
+// decision history is *not* part of the local state (so corresponding runs
+// of different action protocols have identical states); `FipState` carries a
+// cached `decided` flag and an inferred-action table for the action
+// protocol's convenience, but equality and hashing ignore both.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+#include "graph/action_table.hpp"
+#include "graph/comm_graph.hpp"
+
+namespace eba {
+
+struct FipState {
+  int time = 0;
+  AgentId self = 0;
+  Value init = Value::zero;
+  CommGraph graph;
+
+  /// Cached decision status (derived information; excluded from equality).
+  std::optional<Value> decided;
+  /// Lazily filled inferred-action cache, owned by POpt (excluded from
+  /// equality). Mutable so the action protocol, a pure function of the
+  /// state, can memoize.
+  mutable ActionTable inferred;
+
+  friend bool operator==(const FipState& a, const FipState& b) {
+    return a.time == b.time && a.self == b.self && a.init == b.init &&
+           a.graph == b.graph;
+  }
+};
+
+[[nodiscard]] inline std::size_t hash_value(const FipState& s) {
+  std::size_t h = static_cast<std::size_t>(s.time);
+  h = h * 31 + static_cast<std::size_t>(s.self);
+  h = h * 31 + static_cast<std::size_t>(to_int(s.init));
+  h = h * 31 + s.graph.hash();
+  return h;
+}
+
+class FipExchange {
+ public:
+  using State = FipState;
+  /// Graphs are immutable once sent; sharing avoids n copies per broadcast.
+  using Message = std::shared_ptr<const CommGraph>;
+
+  explicit FipExchange(int n) : n_(n) {
+    EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+
+  [[nodiscard]] State initial_state(AgentId i, Value init) const {
+    return State{.time = 0,
+                 .self = i,
+                 .init = init,
+                 .graph = CommGraph(n_, i, init),
+                 .decided = {},
+                 .inferred = {}};
+  }
+
+  /// µ: broadcast the full graph every round. The EBA-context constraint on
+  /// µ is met because a receiver reconstructs the sender's state and infers
+  /// its action, so decide(0)/decide(1)/other messages are distinguishable.
+  [[nodiscard]] std::optional<Message> message(const State& s,
+                                               const Action& /*a*/,
+                                               AgentId /*dest*/) const {
+    return std::make_shared<const CommGraph>(s.graph);
+  }
+
+  [[nodiscard]] std::size_t message_bits(const Message& m) const {
+    return m->bit_size();
+  }
+
+  void update(State& s, const Action& a,
+              std::span<const std::optional<Message>> inbox) const;
+
+ private:
+  int n_;
+};
+
+}  // namespace eba
+
+template <>
+struct std::hash<eba::FipState> {
+  std::size_t operator()(const eba::FipState& s) const noexcept {
+    return eba::hash_value(s);
+  }
+};

@@ -1,0 +1,35 @@
+#include "exchange/min.hpp"
+
+#include "exchange/exchange.hpp"
+
+namespace eba {
+
+std::size_t hash_value(const MinState& s) {
+  auto enc = [](const std::optional<Value>& v) -> std::size_t {
+    return v ? (*v == Value::zero ? 1u : 2u) : 0u;
+  };
+  std::size_t h = static_cast<std::size_t>(s.time);
+  h = h * 31 + static_cast<std::size_t>(to_int(s.init));
+  h = h * 31 + enc(s.decided);
+  h = h * 31 + enc(s.jd);
+  return h;
+}
+
+void MinExchange::update(State& s, const Action& a,
+                         std::span<const std::optional<Message>> inbox) const {
+  EBA_REQUIRE(static_cast<int>(inbox.size()) == n_, "inbox size mismatch");
+  s.time += 1;
+  if (a.is_decide()) {
+    EBA_REQUIRE(!s.decided, "double decision reached the exchange");
+    s.decided = a.value();
+  }
+  bool heard0 = false;
+  bool heard1 = false;
+  for (const auto& m : inbox) {
+    if (!m) continue;
+    (*m == Value::zero ? heard0 : heard1) = true;
+  }
+  s.jd = jd_from_decisions(heard0, heard1);
+}
+
+}  // namespace eba

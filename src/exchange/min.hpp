@@ -1,0 +1,68 @@
+// E_min(n): the minimal information-exchange protocol (paper §6).
+//
+// Local states are exactly the EBA-context fields ⟨time, init, decided, jd⟩.
+// The message alphabet is {0, 1}: an agent sends v to everyone in the round
+// in which it performs decide(v), and stays silent otherwise.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+struct MinState {
+  int time = 0;
+  Value init = Value::zero;
+  std::optional<Value> decided;
+  std::optional<Value> jd;
+
+  friend bool operator==(const MinState&, const MinState&) = default;
+};
+
+/// Hash over all state components (E_min states are tiny).
+[[nodiscard]] std::size_t hash_value(const MinState& s);
+
+class MinExchange {
+ public:
+  using State = MinState;
+  using Message = Value;
+
+  explicit MinExchange(int n) : n_(n) {
+    EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+
+  [[nodiscard]] State initial_state(AgentId /*i*/, Value init) const {
+    return State{.time = 0, .init = init, .decided = {}, .jd = {}};
+  }
+
+  /// µ: broadcast v exactly when performing decide(v).
+  [[nodiscard]] std::optional<Message> message(const State& /*s*/,
+                                               const Action& a,
+                                               AgentId /*dest*/) const {
+    if (a.is_decide()) return a.value();
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t message_bits(const Message& /*m*/) const { return 1; }
+
+  void update(State& s, const Action& a,
+              std::span<const std::optional<Message>> inbox) const;
+
+ private:
+  int n_;
+};
+
+}  // namespace eba
+
+template <>
+struct std::hash<eba::MinState> {
+  std::size_t operator()(const eba::MinState& s) const noexcept {
+    return eba::hash_value(s);
+  }
+};

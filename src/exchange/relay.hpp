@@ -1,0 +1,83 @@
+// E_relay(n): a gossip exchange in which knowledge of an initial 0 is
+// relayed eagerly (paper §1).
+//
+// Beyond the decision announcements of E_min, any agent that knows some
+// agent had initial preference 0 keeps broadcasting a relay0 message. This
+// is the information exchange under which the classic *0-biased* protocol
+// ("decide 0 as soon as you hear about a 0") makes sense. The paper's
+// introduction proves that no such protocol can solve EBA under omission
+// failures — a faulty agent can sit on the 0 and release it to a single
+// agent at the last moment — while under crash failures it is a correct
+// (and optimal, Castañeda et al. 2014) strategy. Both facts are reproduced
+// mechanically in tests/test_impossibility.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+/// M0 = {decide0}, M1 = {decide1}, M2 = {relay0, ⊥}.
+enum class RelayMsg : std::uint8_t { decide0, decide1, relay0 };
+
+struct RelayState {
+  int time = 0;
+  Value init = Value::zero;
+  std::optional<Value> decided;
+  std::optional<Value> jd;
+  bool knows0 = false;  ///< the agent knows some agent had initial value 0
+
+  friend bool operator==(const RelayState&, const RelayState&) = default;
+};
+
+[[nodiscard]] std::size_t hash_value(const RelayState& s);
+
+class RelayExchange {
+ public:
+  using State = RelayState;
+  using Message = RelayMsg;
+
+  explicit RelayExchange(int n) : n_(n) {
+    EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+
+  [[nodiscard]] State initial_state(AgentId /*i*/, Value init) const {
+    return State{.time = 0,
+                 .init = init,
+                 .decided = {},
+                 .jd = {},
+                 .knows0 = init == Value::zero};
+  }
+
+  [[nodiscard]] std::optional<Message> message(const State& s, const Action& a,
+                                               AgentId /*dest*/) const {
+    if (a.is_decide())
+      return a.value() == Value::zero ? RelayMsg::decide0 : RelayMsg::decide1;
+    if (s.knows0) return RelayMsg::relay0;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t message_bits(const Message& /*m*/) const { return 2; }
+
+  void update(State& s, const Action& a,
+              std::span<const std::optional<Message>> inbox) const;
+
+ private:
+  int n_;
+};
+
+}  // namespace eba
+
+template <>
+struct std::hash<eba::RelayState> {
+  std::size_t operator()(const eba::RelayState& s) const noexcept {
+    return eba::hash_value(s);
+  }
+};

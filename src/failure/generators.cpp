@@ -1,0 +1,143 @@
+#include "failure/generators.hpp"
+
+#include <algorithm>
+
+namespace eba {
+namespace {
+
+/// Enumerates subsets of {0..n-1} of size exactly k, invoking fn(mask).
+/// Returns false if fn requested early stop.
+bool for_each_subset_of_size(int n, int k,
+                             const std::function<bool(AgentSet)>& fn) {
+  std::vector<AgentId> idx(static_cast<std::size_t>(k));
+  // Standard combination walk.
+  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  if (k == 0) return fn(AgentSet{});
+  while (true) {
+    AgentSet s;
+    for (AgentId i : idx) s.insert(i);
+    if (!fn(s)) return false;
+    int pos = k - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] == n - k + pos)
+      --pos;
+    if (pos < 0) return true;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (int j = pos + 1; j < k; ++j)
+      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  }
+}
+
+/// Builds a pattern from a drop bitmap: bit index runs over
+/// (round, faulty-sender-index, receiver-slot).
+FailurePattern pattern_from_bits(int n, AgentSet faulty, int rounds,
+                                 std::uint64_t bits) {
+  FailurePattern p(n, faulty.complement(n));
+  int bit = 0;
+  for (int m = 0; m < rounds; ++m) {
+    for (AgentId from : faulty) {
+      for (AgentId to = 0; to < n; ++to) {
+        if (to == from) continue;
+        if ((bits >> bit) & 1u) p.drop(m, from, to);
+        ++bit;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t enumerate_adversaries(
+    const EnumerationConfig& cfg,
+    const std::function<bool(const FailurePattern&)>& fn) {
+  EBA_REQUIRE(cfg.n >= 1 && cfg.t >= 0 && cfg.t < cfg.n, "bad config");
+  std::uint64_t visited = 0;
+  bool keep_going = true;
+  for (int k = 0; k <= cfg.t && keep_going; ++k) {
+    const int bits_per_pattern = k * (cfg.n - 1) * cfg.rounds;
+    EBA_REQUIRE(bits_per_pattern < 48,
+                "enumeration space too large; reduce n, t, or rounds");
+    keep_going = for_each_subset_of_size(cfg.n, k, [&](AgentSet faulty) {
+      const std::uint64_t combos = std::uint64_t{1} << bits_per_pattern;
+      for (std::uint64_t bits = 0; bits < combos; ++bits) {
+        ++visited;
+        if (!fn(pattern_from_bits(cfg.n, faulty, cfg.rounds, bits)))
+          return false;
+      }
+      return true;
+    });
+  }
+  return visited;
+}
+
+std::uint64_t count_adversaries(const EnumerationConfig& cfg) {
+  std::uint64_t total = 0;
+  for (int k = 0; k <= cfg.t; ++k) {
+    // C(n, k) faulty sets, each with 2^(k*(n-1)*rounds) drop combos.
+    std::uint64_t choose = 1;
+    for (int i = 0; i < k; ++i)
+      choose = choose * static_cast<std::uint64_t>(cfg.n - i) /
+               static_cast<std::uint64_t>(i + 1);
+    total += choose << (k * (cfg.n - 1) * cfg.rounds);
+  }
+  return total;
+}
+
+FailurePattern sample_adversary(int n, int num_faulty, int rounds,
+                                double drop_prob, Rng& rng) {
+  EBA_REQUIRE(num_faulty >= 0 && num_faulty < n, "bad faulty count");
+  // Floyd's algorithm for a uniform k-subset.
+  AgentSet faulty;
+  for (int j = n - num_faulty; j < n; ++j) {
+    const AgentId candidate = rng.below(j + 1);
+    if (faulty.contains(candidate))
+      faulty.insert(j);
+    else
+      faulty.insert(candidate);
+  }
+  FailurePattern p(n, faulty.complement(n));
+  for (int m = 0; m < rounds; ++m)
+    for (AgentId from : faulty)
+      for (AgentId to = 0; to < n; ++to)
+        if (to != from && rng.chance(drop_prob)) p.drop(m, from, to);
+  return p;
+}
+
+std::vector<std::vector<Value>> all_preference_vectors(int n) {
+  EBA_REQUIRE(n >= 1 && n < 24, "too many preference vectors to materialize");
+  std::vector<std::vector<Value>> out;
+  out.reserve(std::size_t{1} << n);
+  for (std::uint64_t bits = 0; bits < (std::uint64_t{1} << n); ++bits) {
+    std::vector<Value> prefs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      prefs[static_cast<std::size_t>(i)] = value_of(static_cast<int>((bits >> i) & 1u));
+    out.push_back(std::move(prefs));
+  }
+  return out;
+}
+
+std::vector<Value> sample_preferences(int n, Rng& rng) {
+  std::vector<Value> prefs(static_cast<std::size_t>(n));
+  for (auto& v : prefs) v = rng.chance(0.5) ? Value::one : Value::zero;
+  return prefs;
+}
+
+FailurePattern silent_agents_pattern(int n, AgentSet silent, int rounds) {
+  FailurePattern p(n, silent.complement(n));
+  for (AgentId i : silent) p.silence_forever(i, rounds);
+  return p;
+}
+
+FailurePattern crash_pattern(int n, AgentId who, int round,
+                             AgentSet survivors_of_round, int rounds) {
+  AgentSet faulty;
+  faulty.insert(who);
+  FailurePattern p(n, faulty.complement(n));
+  for (AgentId to = 0; to < n; ++to)
+    if (to != who && !survivors_of_round.contains(to)) p.drop(round, who, to);
+  for (int m = round + 1; m < rounds; ++m) p.silence(m, who);
+  return p;
+}
+
+}  // namespace eba

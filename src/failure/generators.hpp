@@ -1,0 +1,61 @@
+// Adversary generators: exhaustive enumeration of SO(t) patterns over a
+// bounded round prefix (for model checking and small exhaustive tests),
+// random sampling (for property tests and benches), and the canned scenarios
+// used by the paper's examples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "failure/pattern.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+
+/// Parameters for exhaustive enumeration. `rounds` bounds the prefix in
+/// which drops may occur; later rounds are failure-free. The number of
+/// patterns is sum over faulty sets F of 2^(|F| * (n-1) * rounds), so keep
+/// n, t and rounds small.
+struct EnumerationConfig {
+  int n = 3;
+  int t = 1;
+  int rounds = 2;
+};
+
+/// Invokes `fn` on every SO(t) failure pattern with drops confined to the
+/// first `rounds` rounds. Returns the number of patterns visited. If `fn`
+/// returns false, enumeration stops early.
+std::uint64_t enumerate_adversaries(
+    const EnumerationConfig& config,
+    const std::function<bool(const FailurePattern&)>& fn);
+
+/// Number of patterns enumerate_adversaries would visit.
+[[nodiscard]] std::uint64_t count_adversaries(const EnumerationConfig& config);
+
+/// Samples an SO(t) pattern: chooses `num_faulty` distinct faulty agents
+/// uniformly, then drops each (round, faulty sender, receiver) message
+/// independently with probability `drop_prob`, over the first `rounds`
+/// rounds.
+[[nodiscard]] FailurePattern sample_adversary(int n, int num_faulty, int rounds,
+                                              double drop_prob, Rng& rng);
+
+/// All initial-preference vectors for n agents (2^n of them).
+[[nodiscard]] std::vector<std::vector<Value>> all_preference_vectors(int n);
+
+/// A random preference vector.
+[[nodiscard]] std::vector<Value> sample_preferences(int n, Rng& rng);
+
+/// Scenario of Example 7.1: the agents in `silent` are faulty and send no
+/// messages during the first `rounds` rounds.
+[[nodiscard]] FailurePattern silent_agents_pattern(int n, AgentSet silent,
+                                                   int rounds);
+
+/// Crash scenario: agent `who` crashes in round `round+1`, delivering only to
+/// `survivors_of_round` in that round and nothing afterwards (through round
+/// `rounds`).
+[[nodiscard]] FailurePattern crash_pattern(int n, AgentId who, int round,
+                                           AgentSet survivors_of_round,
+                                           int rounds);
+
+}  // namespace eba

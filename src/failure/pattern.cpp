@@ -1,0 +1,63 @@
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+FailurePattern::FailurePattern(int n, AgentSet nonfaulty)
+    : n_(n), nonfaulty_(nonfaulty) {
+  EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+  EBA_REQUIRE(nonfaulty.subset_of(AgentSet::all(n)), "nonfaulty set out of range");
+}
+
+void FailurePattern::ensure_round(int m) {
+  EBA_REQUIRE(m >= 0, "negative round");
+  if (static_cast<int>(drops_.size()) <= m)
+    drops_.resize(static_cast<std::size_t>(m) + 1,
+                  std::vector<AgentSet>(static_cast<std::size_t>(n_)));
+}
+
+void FailurePattern::drop(int m, AgentId from, AgentId to) {
+  EBA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_, "agent out of range");
+  EBA_REQUIRE(from != to, "self-delivery cannot be dropped");
+  EBA_REQUIRE(!nonfaulty_.contains(from),
+              "sending omissions only affect faulty senders");
+  ensure_round(m);
+  drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)].insert(to);
+}
+
+void FailurePattern::silence(int m, AgentId from) {
+  for (AgentId to = 0; to < n_; ++to)
+    if (to != from) drop(m, from, to);
+}
+
+void FailurePattern::silence_forever(AgentId from, int rounds) {
+  for (int m = 0; m < rounds; ++m) silence(m, from);
+}
+
+bool FailurePattern::delivered(int m, AgentId from, AgentId to) const {
+  if (from == to) return true;
+  if (m < 0 || m >= static_cast<int>(drops_.size())) return true;
+  return !drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)]
+              .contains(to);
+}
+
+AgentSet FailurePattern::dropped(int m, AgentId from) const {
+  if (m < 0 || m >= static_cast<int>(drops_.size())) return {};
+  return drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)];
+}
+
+bool FailurePattern::is_crash() const {
+  // Crash semantics over the recorded prefix: an agent may drop an arbitrary
+  // subset of receivers in its crash round, but from the next recorded round
+  // onward it must drop everything.
+  for (AgentId i = 0; i < n_; ++i) {
+    bool crashed = false;
+    for (int m = 0; m < static_cast<int>(drops_.size()); ++m) {
+      const AgentSet d = dropped(m, i);
+      if (crashed && d.size() != n_ - 1) return false;
+      if (!d.empty()) crashed = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace eba

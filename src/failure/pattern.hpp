@@ -1,0 +1,78 @@
+// Failure patterns (adversaries) and the sending-omissions model SO(t)
+// (paper §3).
+//
+// A failure pattern is a pair (N, F): the set of nonfaulty agents and a map
+// F(m, i, j) saying whether the message from i to j in round m+1 is
+// delivered. In SO(t) at most t agents are faulty, and only faulty senders
+// may have messages dropped. Self-delivery always succeeds (see DESIGN.md).
+//
+// Drops are stored explicitly for a finite prefix of rounds; beyond the
+// stored prefix every message is delivered. This is without loss of
+// generality for the protocols in this library, which all decide by round
+// t+2.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+class FailurePattern {
+ public:
+  /// Pattern with the given nonfaulty set and no drops yet.
+  FailurePattern(int n, AgentSet nonfaulty);
+
+  [[nodiscard]] static FailurePattern failure_free(int n) {
+    return FailurePattern(n, AgentSet::all(n));
+  }
+
+  /// Marks the round-(m+1) message from `from` to `to` as omitted.
+  /// Preconditions: `from` is faulty and `from != to`.
+  void drop(int m, AgentId from, AgentId to);
+
+  /// Drops every message from `from` to every other agent in round m+1.
+  void silence(int m, AgentId from);
+
+  /// Drops every message from `from` in rounds 1..rounds.
+  void silence_forever(AgentId from, int rounds);
+
+  [[nodiscard]] bool delivered(int m, AgentId from, AgentId to) const;
+
+  /// Receivers (other than `from` itself) whose round-(m+1) message from
+  /// `from` is dropped.
+  [[nodiscard]] AgentSet dropped(int m, AgentId from) const;
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] AgentSet nonfaulty() const { return nonfaulty_; }
+  [[nodiscard]] AgentSet faulty() const { return nonfaulty_.complement(n_); }
+  [[nodiscard]] int num_faulty() const { return faulty().size(); }
+  [[nodiscard]] bool is_nonfaulty(AgentId i) const {
+    return nonfaulty_.contains(i);
+  }
+  /// Number of round slots with recorded drops.
+  [[nodiscard]] int recorded_rounds() const {
+    return static_cast<int>(drops_.size());
+  }
+
+  /// True iff the pattern is in SO(t): at most t faulty agents (drops from
+  /// nonfaulty senders are prevented by construction).
+  [[nodiscard]] bool in_so(int t) const { return num_faulty() <= t; }
+
+  /// True iff the pattern additionally satisfies the crash condition: once a
+  /// message from i to some agent is dropped in round m+1, every message
+  /// from i in all later recorded rounds is dropped.
+  [[nodiscard]] bool is_crash() const;
+
+  friend bool operator==(const FailurePattern&, const FailurePattern&) = default;
+
+ private:
+  void ensure_round(int m);
+
+  int n_;
+  AgentSet nonfaulty_;
+  /// drops_[m][from] = receivers dropped in round m+1.
+  std::vector<std::vector<AgentSet>> drops_;
+};
+
+}  // namespace eba

@@ -1,0 +1,67 @@
+// Inferred-action table d(j, m, G) (paper §A.2.7).
+//
+// In a full-information exchange, an agent that hears from (j, m) can
+// reconstruct j's local state at time m and — because the action protocol is
+// deterministic — re-derive j's action in round m+1. This table caches those
+// inferences: entry (j, m) is the action j performs in round m+1, or
+// `unknown` if it has not been inferred. Lookups must be gated by
+// reachability in the graph being evaluated (d(j, m, G) = ? when (j, m) is
+// not in G's cone); see POpt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+enum class KnownAction : std::uint8_t { unknown = 0, noop, decide0, decide1 };
+
+[[nodiscard]] constexpr KnownAction to_known(const Action& a) {
+  if (!a.is_decide()) return KnownAction::noop;
+  return a.value() == Value::zero ? KnownAction::decide0 : KnownAction::decide1;
+}
+
+[[nodiscard]] constexpr bool is_decide(KnownAction a) {
+  return a == KnownAction::decide0 || a == KnownAction::decide1;
+}
+
+class ActionTable {
+ public:
+  /// Grows the table to cover agents 0..n-1 and times 0..time.
+  void ensure(int n, int time) {
+    rows_.resize(static_cast<std::size_t>(n));
+    for (auto& row : rows_)
+      if (static_cast<int>(row.size()) <= time)
+        row.resize(static_cast<std::size_t>(time) + 1, KnownAction::unknown);
+  }
+
+  [[nodiscard]] KnownAction get(AgentId j, int m) const {
+    if (j < 0 || static_cast<std::size_t>(j) >= rows_.size() || m < 0 ||
+        static_cast<std::size_t>(m) >= rows_[static_cast<std::size_t>(j)].size())
+      return KnownAction::unknown;
+    return rows_[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)];
+  }
+
+  void set(AgentId j, int m, KnownAction a) {
+    EBA_REQUIRE(j >= 0 && static_cast<std::size_t>(j) < rows_.size() && m >= 0,
+                "action table index out of range");
+    EBA_REQUIRE(static_cast<std::size_t>(m) < rows_[static_cast<std::size_t>(j)].size(),
+                "action table time out of range");
+    rows_[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] = a;
+  }
+
+  /// True iff j is known to have performed a decision in some round <= m+1
+  /// (i.e. an inferred decide action at a time <= m). m may be -1.
+  [[nodiscard]] bool decided_by(AgentId j, int m) const {
+    for (int m2 = 0; m2 <= m; ++m2)
+      if (is_decide(get(j, m2))) return true;
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<KnownAction>> rows_;
+};
+
+}  // namespace eba

@@ -1,0 +1,77 @@
+#include "graph/comm_graph.hpp"
+
+namespace eba {
+
+CommGraph::CommGraph(int n, AgentId self, Value own_init)
+    : n_(n), time_(0), prefs_(static_cast<std::size_t>(n), PrefLabel::unknown) {
+  EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+  EBA_REQUIRE(self >= 0 && self < n, "agent id out of range");
+  prefs_[static_cast<std::size_t>(self)] = pref_of(own_init);
+}
+
+CommGraph CommGraph::blank(int n, int time) {
+  CommGraph g(n, 0, Value::zero);
+  g.prefs_.assign(static_cast<std::size_t>(n), PrefLabel::unknown);
+  g.time_ = time;
+  g.labels_.assign(static_cast<std::size_t>(time) * static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(n),
+                   Label::unknown);
+  return g;
+}
+
+std::size_t CommGraph::index(int m, AgentId from, AgentId to) const {
+  EBA_REQUIRE(m >= 0 && m < time_, "round out of range");
+  EBA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_, "agent out of range");
+  return (static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(from)) *
+             static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(to);
+}
+
+void CommGraph::advance_round(AgentId self, AgentSet received_from) {
+  EBA_REQUIRE(self >= 0 && self < n_, "agent id out of range");
+  const int m = time_;
+  time_ += 1;
+  labels_.resize(static_cast<std::size_t>(time_) * static_cast<std::size_t>(n_) *
+                     static_cast<std::size_t>(n_),
+                 Label::unknown);
+  for (AgentId from = 0; from < n_; ++from) {
+    const bool got = from == self || received_from.contains(from);
+    set_label(m, from, self, got ? Label::present : Label::absent);
+  }
+}
+
+void CommGraph::merge(const CommGraph& other) {
+  EBA_REQUIRE(other.n_ == n_, "merging graphs of different systems");
+  EBA_REQUIRE(other.time_ <= time_, "merging a graph from the future");
+  for (int m = 0; m < other.time_; ++m) {
+    for (AgentId from = 0; from < n_; ++from) {
+      for (AgentId to = 0; to < n_; ++to) {
+        const Label theirs = other.label(m, from, to);
+        if (theirs == Label::unknown) continue;
+        const Label mine = label(m, from, to);
+        EBA_REQUIRE(mine == Label::unknown || mine == theirs,
+                    "inconsistent delivery observations");
+        set_label(m, from, to, theirs);
+      }
+    }
+  }
+  for (AgentId j = 0; j < n_; ++j) {
+    const PrefLabel theirs = other.pref(j);
+    if (theirs == PrefLabel::unknown) continue;
+    const PrefLabel mine = pref(j);
+    EBA_REQUIRE(mine == PrefLabel::unknown || mine == theirs,
+                "inconsistent preference observations");
+    set_pref(j, theirs);
+  }
+}
+
+std::size_t CommGraph::hash() const {
+  std::size_t h = static_cast<std::size_t>(n_) * 1315423911u +
+                  static_cast<std::size_t>(time_);
+  for (Label l : labels_) h = h * 1099511628211ull + static_cast<std::size_t>(l);
+  for (PrefLabel p : prefs_) h = h * 1099511628211ull + static_cast<std::size_t>(p);
+  return h;
+}
+
+}  // namespace eba

@@ -1,0 +1,90 @@
+// Moses–Tuttle communication graphs (paper §7, §A.2.7): the compact
+// representation of a full-information exchange.
+//
+// The graph of agent i at time m records, for every round m' + 1 <= m and
+// every ordered pair (j, k), whether i knows the round-(m'+1) message from j
+// to k was delivered (label 1), knows it was omitted (label 0), or does not
+// know (?). It also records the initial preferences i knows.
+//
+// Labels encode *delivery* knowledge: under sending omissions, a sender does
+// not learn whether its own messages were omitted, so an agent's outgoing
+// edges stay `?` until some receiver's report is relayed back. Incoming
+// edges are always 0/1 (a synchronous receiver detects absence).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+/// Delivery knowledge for one (round, sender, receiver) edge.
+enum class Label : std::uint8_t { absent = 0, present = 1, unknown = 2 };
+
+/// Knowledge of one agent's initial preference.
+enum class PrefLabel : std::uint8_t { zero = 0, one = 1, unknown = 2 };
+
+[[nodiscard]] constexpr PrefLabel pref_of(Value v) {
+  return v == Value::zero ? PrefLabel::zero : PrefLabel::one;
+}
+
+class CommGraph {
+ public:
+  /// The time-0 graph of `self`, knowing only its own preference.
+  CommGraph(int n, AgentId self, Value own_init);
+
+  [[nodiscard]] int n() const { return n_; }
+  /// Number of rounds covered: edges exist for rounds 1..time().
+  [[nodiscard]] int time() const { return time_; }
+
+  /// Label of the edge (from, m) -> (to, m+1), i.e. the round-(m+1) message.
+  /// Precondition: 0 <= m < time().
+  [[nodiscard]] Label label(int m, AgentId from, AgentId to) const {
+    return labels_[index(m, from, to)];
+  }
+  void set_label(int m, AgentId from, AgentId to, Label l) {
+    labels_[index(m, from, to)] = l;
+  }
+
+  [[nodiscard]] PrefLabel pref(AgentId j) const {
+    return prefs_[static_cast<std::size_t>(j)];
+  }
+  void set_pref(AgentId j, PrefLabel p) {
+    prefs_[static_cast<std::size_t>(j)] = p;
+  }
+
+  /// Extends the graph by one round: `self` observed exactly the messages
+  /// from `received_from` (self-delivery is implicit). All other new edges
+  /// are unknown.
+  void advance_round(AgentId self, AgentSet received_from);
+
+  /// Merges another agent's graph (a FIP message) into this one. The other
+  /// graph may cover fewer rounds. Conflicting definite labels indicate a
+  /// protocol bug and throw.
+  void merge(const CommGraph& other);
+
+  /// Uninformative graph of the given shape, used by view extraction.
+  static CommGraph blank(int n, int time);
+
+  friend bool operator==(const CommGraph&, const CommGraph&) = default;
+
+  [[nodiscard]] std::size_t hash() const;
+
+  /// Serialized size in bits: two bits per edge label plus two per
+  /// preference label (used for Prop 8.1 accounting).
+  [[nodiscard]] std::size_t bit_size() const {
+    return 2 * labels_.size() + 2 * prefs_.size();
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int m, AgentId from, AgentId to) const;
+
+  int n_;
+  int time_;
+  std::vector<Label> labels_;     ///< time * n * n, round-major
+  std::vector<PrefLabel> prefs_;  ///< n
+};
+
+}  // namespace eba

@@ -1,0 +1,99 @@
+#include "graph/knowledge.hpp"
+
+namespace eba {
+
+Cone::Cone(const CommGraph& g, AgentId target, int m_top) : m_top_(m_top) {
+  EBA_REQUIRE(m_top >= 0 && m_top <= g.time(), "cone top out of range");
+  EBA_REQUIRE(target >= 0 && target < g.n(), "agent id out of range");
+  members_.assign(static_cast<std::size_t>(m_top) + 1, AgentSet{});
+  members_[static_cast<std::size_t>(m_top)].insert(target);
+  for (int m = m_top; m > 0; --m) {
+    for (AgentId to : members_[static_cast<std::size_t>(m)]) {
+      for (AgentId from = 0; from < g.n(); ++from) {
+        if (g.label(m - 1, from, to) == Label::present)
+          members_[static_cast<std::size_t>(m - 1)].insert(from);
+      }
+    }
+  }
+}
+
+int Cone::last_heard(AgentId j) const {
+  for (int m = m_top_; m >= 0; --m)
+    if (members_[static_cast<std::size_t>(m)].contains(j)) return m;
+  return -1;
+}
+
+CommGraph extract_view(const CommGraph& g, AgentId j, int m) {
+  const Cone cone(g, j, m);
+  CommGraph view = CommGraph::blank(g.n(), m);
+  for (int m2 = 1; m2 <= m; ++m2) {
+    for (AgentId to : cone.at(m2)) {
+      for (AgentId from = 0; from < g.n(); ++from) {
+        const Label l = g.label(m2 - 1, from, to);
+        EBA_REQUIRE(l != Label::unknown,
+                    "extract_view target is not in the owner's cone");
+        view.set_label(m2 - 1, from, to, l);
+      }
+    }
+  }
+  for (AgentId k : cone.at(0)) view.set_pref(k, g.pref(k));
+  return view;
+}
+
+AgentSet known_faults(const CommGraph& g, AgentId j, int m) {
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
+  return known_faults_table(g)[static_cast<std::size_t>(m)]
+                              [static_cast<std::size_t>(j)];
+}
+
+std::vector<std::vector<AgentSet>> known_faults_table(const CommGraph& g) {
+  std::vector<std::vector<AgentSet>> f(
+      static_cast<std::size_t>(g.time()) + 1,
+      std::vector<AgentSet>(static_cast<std::size_t>(g.n())));
+  for (int m = 1; m <= g.time(); ++m) {
+    for (AgentId j = 0; j < g.n(); ++j) {
+      AgentSet acc = f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(j)];
+      for (AgentId from = 0; from < g.n(); ++from) {
+        switch (g.label(m - 1, from, j)) {
+          case Label::absent:
+            acc.insert(from);
+            break;
+          case Label::present:
+            acc = acc.united(
+                f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(from)]);
+            break;
+          case Label::unknown:
+            break;
+        }
+      }
+      f[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  return f;
+}
+
+AgentSet distributed_faults(const CommGraph& g, AgentSet s, int m) {
+  const auto table = known_faults_table(g);
+  AgentSet out;
+  for (AgentId k : s)
+    out = out.united(table[static_cast<std::size_t>(m)][static_cast<std::size_t>(k)]);
+  return out;
+}
+
+std::vector<Value> known_values(const CommGraph& g, AgentId j, int m,
+                                const Cone& owner_cone) {
+  std::vector<Value> out;
+  if (!owner_cone.contains(j, m)) return out;
+  const Cone jc(g, j, m);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (AgentId k : jc.at(0)) {
+    if (g.pref(k) == PrefLabel::zero) saw0 = true;
+    if (g.pref(k) == PrefLabel::one) saw1 = true;
+  }
+  if (saw0) out.push_back(Value::zero);
+  if (saw1) out.push_back(Value::one);
+  return out;
+}
+
+}  // namespace eba

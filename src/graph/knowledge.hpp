@@ -1,0 +1,72 @@
+// Knowledge operators over communication graphs (paper §A.2.7):
+//
+//   cone         — the hears-from cone of a node (Def. A.1)
+//   extract_view — G_{j,m'}: the graph agent j had at time m', reconstructed
+//                  from the graph of an agent that heard from (j, m')
+//   known_faults — f(j, m', G): faulty agents the graph owner knows that j
+//                  knew about at time m'
+//   distributed_faults — D(S, m', G)
+//   known_values — V(j, m', G): initial values the owner knows j knew
+//   last_heard   — last_{ij}: the last time m' with (j, m') in the cone
+//
+// All of these are polynomial-time in the size of the graph; they are the
+// machinery behind the polynomial-time optimal FIP P_opt (Prop. 7.9).
+#pragma once
+
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace eba {
+
+/// The hears-from cone of (target, m_top): cone.at(m') is the set of agents j
+/// with (j, m') ->_r (target, m_top), where the relation follows label-1
+/// edges forward in time. Contains (target, m_top) itself.
+class Cone {
+ public:
+  Cone(const CommGraph& g, AgentId target, int m_top);
+
+  [[nodiscard]] bool contains(AgentId j, int m) const {
+    return m >= 0 && m <= m_top_ && members_[static_cast<std::size_t>(m)].contains(j);
+  }
+  [[nodiscard]] AgentSet at(int m) const {
+    EBA_REQUIRE(m >= 0 && m <= m_top_, "time out of range");
+    return members_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] int top() const { return m_top_; }
+
+  /// last_{ij}: the greatest m with (j, m) in the cone, or -1 if j was never
+  /// heard from.
+  [[nodiscard]] int last_heard(AgentId j) const;
+
+ private:
+  int m_top_;
+  std::vector<AgentSet> members_;  ///< by time 0..m_top
+};
+
+/// Reconstructs G_{j,m'} from `g`. Precondition: (j, m') is in the cone of
+/// g's owner (i.e. `owner_cone.contains(j, m')`), so every edge into the
+/// extracted cone carries a definite label in `g`.
+[[nodiscard]] CommGraph extract_view(const CommGraph& g, AgentId j, int m);
+
+/// f(j, m, g): the faulty agents the owner of g knows that j knew about at
+/// time m (paper §7). f(j, 0, g) is empty; for m > 0 it is the union of the
+/// senders whose round-m messages to j are known omitted, the knowledge of
+/// the senders whose round-m messages to j are known delivered, and
+/// f(j, m-1, g).
+[[nodiscard]] AgentSet known_faults(const CommGraph& g, AgentId j, int m);
+
+/// The full f table: entry [m][j] = f(j, m, g), for m in 0..g.time().
+[[nodiscard]] std::vector<std::vector<AgentSet>> known_faults_table(
+    const CommGraph& g);
+
+/// D(S, m, g) = union over k in S of f(k, m, g).
+[[nodiscard]] AgentSet distributed_faults(const CommGraph& g, AgentSet s, int m);
+
+/// V(j, m, g): the set of initial values the owner knows j knew at time m.
+/// Per the paper this is empty unless (j, m) is in the owner's cone; the
+/// caller supplies the owner's cone to enforce that.
+[[nodiscard]] std::vector<Value> known_values(const CommGraph& g, AgentId j,
+                                              int m, const Cone& owner_cone);
+
+}  // namespace eba

@@ -1,0 +1,101 @@
+// Continual common knowledge C⊡_S (Halpern–Moses–Waarts 2001; paper §7).
+//
+// A point (r', m') is S-⊡-reachable from (r, m) if there is a chain of
+// runs r = r^0, r^1, ..., r^k = r' where consecutive runs are linked by an
+// agent i_j that belongs to S at both endpoints and has equal local states
+// there — and, crucially, the chain may *slide in time* freely within each
+// run. C⊡_S φ holds at (r, m) iff φ holds at every S-⊡-reachable point.
+//
+// Two structural facts make this computable:
+//   * slides mean reachability only depends on the starting run, and once a
+//     run is reached every point of it is;
+//   * the linking relation is symmetric, so the reachable-run sets are the
+//     connected components of a union-find over runs, with edges
+//     contributed by every (time, agent ∈ S) indistinguishability class.
+//
+// This is the operator in the Halpern–Moses–Waarts optimality
+// characterization (Theorem 7.5), which tests/test_continual.cpp checks for
+// P_opt.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "kripke/system.hpp"
+
+namespace eba {
+
+template <class Sys>
+class BoxReachability {
+ public:
+  /// Builds the S-⊡ components of the system. `S` maps a Point to the
+  /// indexical AgentSet (e.g. N ∧ O, the nonfaulty agents that decided or
+  /// are deciding 1).
+  template <class SetFn>
+  BoxReachability(const Sys& I, const SetFn& S) : parent_(make_iota(I.num_runs())) {
+    for (int m = 0; m <= I.horizon(); ++m) {
+      for (int r = 0; r < I.num_runs(); ++r) {
+        const Point p{r, m};
+        for (AgentId j : S(p)) {
+          for (int r2 : I.indistinguishable_runs(j, p)) {
+            if (S(Point{r2, m}).contains(j)) unite(r, r2);
+          }
+        }
+      }
+    }
+  }
+
+  /// True iff (r2, any time) is S-⊡-reachable from (r1, any time).
+  [[nodiscard]] bool reachable(int r1, int r2) const {
+    return find(r1) == find(r2);
+  }
+
+  /// C⊡_S φ at any point of run r: φ must hold at every point of every run
+  /// in r's component (the component always contains r itself, matching the
+  /// k = 0 slide case of the definition).
+  template <class Pred>
+  [[nodiscard]] bool continual_common_knowledge(const Sys& I, int r,
+                                                const Pred& phi) const {
+    const int root = find(r);
+    for (int r2 = 0; r2 < I.num_runs(); ++r2) {
+      if (find(r2) != root) continue;
+      for (int m = 0; m <= I.horizon(); ++m)
+        if (!phi(Point{r2, m})) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::vector<int> make_iota(int n) {
+    std::vector<int> v(static_cast<std::size_t>(n));
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+  }
+  [[nodiscard]] int find(int x) const {
+    while (parent_[static_cast<std::size_t>(x)] != x)
+      x = parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    return x;
+  }
+  void unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[static_cast<std::size_t>(b)] = a;
+  }
+
+  mutable std::vector<int> parent_;
+};
+
+/// The indexical set N ∧ O of the paper (for v = 1) and N ∧ Z (for v = 0):
+/// the nonfaulty agents that have decided v or are about to decide v.
+template <class Sys>
+[[nodiscard]] auto nonfaulty_deciders_indexical(const Sys& I, Value v) {
+  return [&I, v](Point q) {
+    AgentSet out;
+    for (AgentId j : I.nonfaulty_set(q))
+      if (I.decided(q, j) == v || I.deciding(q, j, v)) out.insert(j);
+    return out;
+  };
+}
+
+}  // namespace eba

@@ -1,0 +1,283 @@
+// Round-by-round synthesis of concrete implementations from knowledge-based
+// programs (paper §4; cf. the epistemic-synthesis direction discussed in §8).
+//
+// In a synchronous context the tests of P0/P1 at time m depend only on the
+// system up to time m (the decide-1 test quantifies over *this* round's
+// 0-decisions, which are themselves determined by tests about earlier
+// times). The construction therefore proceeds inductively: build all runs up
+// to time m, evaluate each agent's knowledge tests against the partial
+// system, assign actions, advance one round. The result is a concrete
+// protocol table on reachable local states — by construction an
+// implementation of the program, which Theorems 6.5/6.6 predict equals
+// P_min/P_basic in the corresponding contexts (verified in tests).
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "failure/pattern.hpp"
+#include "sim/simulator.hpp"
+
+namespace eba {
+
+enum class KbpProgram { p0, p1 };
+
+template <ExchangeProtocol X>
+struct SynthesisResult {
+  /// Synthesized action for every reachable local state.
+  std::unordered_map<typename X::State, Action> table;
+  /// Decision (if any) per world per agent, for spec checks.
+  std::vector<std::vector<std::optional<Decision>>> decisions;
+};
+
+template <ExchangeProtocol X>
+class KbpSynthesizer {
+ public:
+  using State = typename X::State;
+  using World = std::pair<FailurePattern, std::vector<Value>>;
+
+  KbpSynthesizer(X x, int t, KbpProgram program)
+      : x_(std::move(x)), t_(t), program_(program) {}
+
+  [[nodiscard]] SynthesisResult<X> run(const std::vector<World>& worlds,
+                                       int horizon) {
+    const int n = x_.n();
+    const auto nw = worlds.size();
+    states_.clear();
+    decisions_.assign(nw, std::vector<std::optional<Decision>>(
+                              static_cast<std::size_t>(n)));
+    nonfaulty_.clear();
+    inits_.clear();
+    last_actions_.assign(nw, std::vector<Action>(static_cast<std::size_t>(n)));
+    for (const auto& [alpha, inits] : worlds) {
+      EBA_REQUIRE(alpha.n() == n && static_cast<int>(inits.size()) == n,
+                  "world shape mismatch");
+      std::vector<State> row;
+      row.reserve(static_cast<std::size_t>(n));
+      for (AgentId i = 0; i < n; ++i)
+        row.push_back(x_.initial_state(i, inits[static_cast<std::size_t>(i)]));
+      states_.push_back(std::move(row));
+      nonfaulty_.push_back(alpha.nonfaulty());
+      inits_.push_back(inits);
+    }
+
+    SynthesisResult<X> result;
+    result.decisions.assign(nw, std::vector<std::optional<Decision>>(
+                                    static_cast<std::size_t>(n)));
+    for (int m = 0; m < horizon; ++m) {
+      build_classes();
+      const auto actions = assign_actions(m);
+      for (std::size_t w = 0; w < nw; ++w) {
+        for (AgentId i = 0; i < n; ++i) {
+          const Action a = actions[w][static_cast<std::size_t>(i)];
+          record(result, states_[w][static_cast<std::size_t>(i)], a);
+          if (a.is_decide()) {
+            decisions_[w][static_cast<std::size_t>(i)] =
+                Decision{a.value(), m + 1};
+            result.decisions[w][static_cast<std::size_t>(i)] =
+                Decision{a.value(), m + 1};
+          }
+        }
+      }
+      advance_round(worlds, actions, m);
+      last_actions_ = actions;
+    }
+    return result;
+  }
+
+ private:
+  /// Indistinguishability classes at the current time: for each agent, the
+  /// set of worlds sharing its local state.
+  void build_classes() {
+    const int n = x_.n();
+    classes_.assign(static_cast<std::size_t>(n), {});
+    class_of_.assign(states_.size(),
+                     std::vector<int>(static_cast<std::size_t>(n)));
+    for (AgentId i = 0; i < n; ++i) {
+      std::unordered_map<State, int> ids;
+      for (std::size_t w = 0; w < states_.size(); ++w) {
+        const State& s = states_[w][static_cast<std::size_t>(i)];
+        auto [it, fresh] = ids.try_emplace(s, static_cast<int>(ids.size()));
+        if (fresh) classes_[static_cast<std::size_t>(i)].emplace_back();
+        class_of_[w][static_cast<std::size_t>(i)] = it->second;
+        classes_[static_cast<std::size_t>(i)][static_cast<std::size_t>(it->second)]
+            .push_back(static_cast<int>(w));
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<int>& cls(std::size_t w, AgentId i) const {
+    return classes_[static_cast<std::size_t>(i)]
+                   [static_cast<std::size_t>(class_of_[w][static_cast<std::size_t>(i)])];
+  }
+
+  [[nodiscard]] bool decided(std::size_t w, AgentId i) const {
+    return decisions_[w][static_cast<std::size_t>(i)].has_value();
+  }
+
+  /// jdecided_j = 0 at the current time in world w: j chose decide(0) in the
+  /// previous round.
+  [[nodiscard]] bool any_jdecided0(std::size_t w, int m) const {
+    if (m == 0) return false;
+    for (const Action& a : last_actions_[w])
+      if (a.decides(Value::zero)) return true;
+    return false;
+  }
+
+  /// C_N(t-faulty ∧ no-decided_N(1-v) ∧ ∃v) over the partial system.
+  [[nodiscard]] bool common_condition(std::size_t w0, Value v) const {
+    const int n = x_.n();
+    const Value other = opposite(v);
+    // BFS over worlds through ~_j edges, j nonfaulty at the source world.
+    std::vector<char> queued(states_.size(), 0);
+    std::vector<int> frontier;
+    std::vector<int> reached;
+    auto expand = [&](int from) {
+      for (AgentId j : nonfaulty_[static_cast<std::size_t>(from)])
+        for (int w : cls(static_cast<std::size_t>(from), j))
+          if (!queued[static_cast<std::size_t>(w)]) {
+            queued[static_cast<std::size_t>(w)] = 1;
+            frontier.push_back(w);
+            reached.push_back(w);
+          }
+    };
+    expand(static_cast<int>(w0));
+    while (!frontier.empty()) {
+      const int w = frontier.back();
+      frontier.pop_back();
+      expand(w);
+    }
+    // t-faulty: some t-set A is faulty at every reached world; equivalently
+    // the intersection of the faulty sets over reached worlds has size >= t.
+    AgentSet common_faulty = AgentSet::all(n);
+    for (int w : reached)
+      common_faulty = common_faulty.intersected(
+          nonfaulty_[static_cast<std::size_t>(w)].complement(n));
+    if (common_faulty.size() < t_) return false;
+    for (int w : reached) {
+      bool some_v = false;
+      for (Value x : inits_[static_cast<std::size_t>(w)]) some_v = some_v || x == v;
+      if (!some_v) return false;
+      for (AgentId j : nonfaulty_[static_cast<std::size_t>(w)]) {
+        const auto& d = decisions_[static_cast<std::size_t>(w)]
+                                  [static_cast<std::size_t>(j)];
+        if (d && d->value == other) return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::vector<std::vector<Action>> assign_actions(int m) {
+    const int n = x_.n();
+    std::vector<std::vector<Action>> actions(
+        states_.size(), std::vector<Action>(static_cast<std::size_t>(n)));
+    std::vector<std::vector<char>> assigned(
+        states_.size(), std::vector<char>(static_cast<std::size_t>(n), 0));
+
+    // Stage 1: noop-if-decided, the common-knowledge lines of P1, and the
+    // decide-0 line. All of these depend only on rounds < m+1.
+    for (std::size_t w = 0; w < states_.size(); ++w) {
+      for (AgentId i = 0; i < n; ++i) {
+        auto set = [&](Action a) {
+          actions[w][static_cast<std::size_t>(i)] = a;
+          assigned[w][static_cast<std::size_t>(i)] = 1;
+        };
+        if (decided(w, i)) {
+          set(Action::noop());
+          continue;
+        }
+        if (program_ == KbpProgram::p1) {
+          const auto& peers = cls(w, i);
+          auto knows_common = [&](Value v) {
+            for (int w2 : peers)
+              if (!common_condition(static_cast<std::size_t>(w2), v))
+                return false;
+            return true;
+          };
+          if (knows_common(Value::zero)) {
+            set(Action::decide(Value::zero));
+            continue;
+          }
+          if (knows_common(Value::one)) {
+            set(Action::decide(Value::one));
+            continue;
+          }
+        }
+        const bool init0 =
+            inits_[w][static_cast<std::size_t>(i)] == Value::zero;
+        bool knows_jd0 = true;
+        for (int w2 : cls(w, i))
+          knows_jd0 = knows_jd0 && any_jdecided0(static_cast<std::size_t>(w2), m);
+        if (init0 || knows_jd0) set(Action::decide(Value::zero));
+      }
+    }
+
+    // Stage 2: the decide-1 line. "deciding_j = 0 in round m+1" is now fully
+    // determined by stage 1.
+    for (std::size_t w = 0; w < states_.size(); ++w) {
+      for (AgentId i = 0; i < n; ++i) {
+        if (assigned[w][static_cast<std::size_t>(i)]) continue;
+        bool knows_no_decider = true;
+        for (int w2 : cls(w, i)) {
+          for (AgentId j = 0; j < n && knows_no_decider; ++j)
+            knows_no_decider =
+                !actions[static_cast<std::size_t>(w2)][static_cast<std::size_t>(j)]
+                     .decides(Value::zero);
+          if (!knows_no_decider) break;
+        }
+        actions[w][static_cast<std::size_t>(i)] =
+            knows_no_decider ? Action::decide(Value::one) : Action::noop();
+      }
+    }
+    return actions;
+  }
+
+  void advance_round(const std::vector<World>& worlds,
+                     const std::vector<std::vector<Action>>& actions, int m) {
+    const int n = x_.n();
+    using Message = typename X::Message;
+    for (std::size_t w = 0; w < worlds.size(); ++w) {
+      const FailurePattern& alpha = worlds[w].first;
+      std::vector<std::optional<Message>> outgoing(static_cast<std::size_t>(n));
+      for (AgentId i = 0; i < n; ++i)
+        outgoing[static_cast<std::size_t>(i)] =
+            x_.message(states_[w][static_cast<std::size_t>(i)],
+                       actions[w][static_cast<std::size_t>(i)], 0);
+      std::vector<std::vector<std::optional<Message>>> inbox(
+          static_cast<std::size_t>(n),
+          std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
+      for (AgentId i = 0; i < n; ++i) {
+        if (!outgoing[static_cast<std::size_t>(i)]) continue;
+        for (AgentId j = 0; j < n; ++j)
+          if (alpha.delivered(m, i, j))
+            inbox[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+                outgoing[static_cast<std::size_t>(i)];
+      }
+      for (AgentId i = 0; i < n; ++i)
+        x_.update(states_[w][static_cast<std::size_t>(i)],
+                  actions[w][static_cast<std::size_t>(i)],
+                  std::span<const std::optional<Message>>(
+                      inbox[static_cast<std::size_t>(i)]));
+    }
+  }
+
+  void record(SynthesisResult<X>& result, const State& s, Action a) {
+    auto [it, fresh] = result.table.try_emplace(s, a);
+    EBA_REQUIRE(fresh || it->second == a,
+                "knowledge tests assigned two actions to one local state");
+  }
+
+  X x_;
+  int t_;
+  KbpProgram program_;
+  std::vector<std::vector<State>> states_;
+  std::vector<std::vector<std::optional<Decision>>> decisions_;
+  std::vector<AgentSet> nonfaulty_;
+  std::vector<std::vector<Value>> inits_;
+  std::vector<std::vector<Action>> last_actions_;
+  std::vector<std::vector<std::vector<int>>> classes_;  ///< [agent][class]->worlds
+  std::vector<std::vector<int>> class_of_;              ///< [world][agent]
+};
+
+}  // namespace eba

@@ -1,0 +1,60 @@
+// Round-synchronized message bus with omission fault injection.
+//
+// The threaded runtime's agents each call exchange() once per round with
+// their broadcast payload; the call blocks until every agent has submitted,
+// applies the failure pattern to decide which copies are delivered, and
+// returns each agent's inbox. This realizes the paper's synchronous
+// round structure over real threads.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "failure/pattern.hpp"
+#include "net/serialize.hpp"
+
+namespace eba {
+
+class RoundBus {
+ public:
+  struct RoundResult {
+    int round = 0;
+    /// inbox[j]: payload received from agent j (self-delivery included).
+    std::vector<std::optional<Bytes>> inbox;
+    /// True iff every agent reported `decided` when submitting this round.
+    bool all_decided = false;
+  };
+
+  RoundBus(int n, FailurePattern alpha);
+
+  /// Submits agent `i`'s broadcast for the current round (nullopt = ⊥) and
+  /// its decision status, blocks for the round barrier, and returns the
+  /// filtered inbox. Every agent must call this exactly once per round.
+  [[nodiscard]] RoundResult exchange(AgentId i, std::optional<Bytes> broadcast,
+                                     bool decided);
+
+  /// Delivery log: delivered(m)[i] = receivers (other than i) that got i's
+  /// round-(m+1) payload. Only valid after the round completed.
+  [[nodiscard]] std::vector<AgentSet> delivered_log(int round) const;
+  [[nodiscard]] std::vector<AgentSet> sent_log(int round) const;
+  [[nodiscard]] int completed_rounds() const;
+
+ private:
+  const int n_;
+  const FailurePattern alpha_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t generation_ = 0;
+  int round_ = 0;
+  int submitted_ = 0;
+  std::vector<std::optional<Bytes>> outbox_;
+  std::vector<char> decided_;
+  std::vector<RoundResult> results_;  ///< per receiver, for the finished round
+  std::vector<std::vector<AgentSet>> sent_log_;
+  std::vector<std::vector<AgentSet>> delivered_log_;
+};
+
+}  // namespace eba

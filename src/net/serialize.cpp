@@ -1,0 +1,80 @@
+#include "net/serialize.hpp"
+
+namespace eba {
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+}
+
+std::uint8_t Reader::u8() {
+  EBA_REQUIRE(pos_ < data_.size(), "message payload truncated");
+  return data_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8)
+    v |= static_cast<std::uint32_t>(u8()) << shift;
+  return v;
+}
+
+void encode_message(Writer& w, Value m) {
+  w.u8(static_cast<std::uint8_t>(to_int(m)));
+}
+void decode_message(Reader& r, Value& m) {
+  const std::uint8_t b = r.u8();
+  EBA_REQUIRE(b <= 1, "bad Value byte");
+  m = value_of(b);
+}
+
+void encode_message(Writer& w, BasicMsg m) {
+  w.u8(static_cast<std::uint8_t>(m));
+}
+void decode_message(Reader& r, BasicMsg& m) {
+  const std::uint8_t b = r.u8();
+  EBA_REQUIRE(b <= static_cast<std::uint8_t>(BasicMsg::init1), "bad BasicMsg byte");
+  m = static_cast<BasicMsg>(b);
+}
+
+void encode_graph(Writer& w, const CommGraph& g) {
+  w.u32(static_cast<std::uint32_t>(g.n()));
+  w.u32(static_cast<std::uint32_t>(g.time()));
+  for (int m = 0; m < g.time(); ++m)
+    for (AgentId from = 0; from < g.n(); ++from)
+      for (AgentId to = 0; to < g.n(); ++to)
+        w.u8(static_cast<std::uint8_t>(g.label(m, from, to)));
+  for (AgentId j = 0; j < g.n(); ++j)
+    w.u8(static_cast<std::uint8_t>(g.pref(j)));
+}
+
+CommGraph decode_graph(Reader& r) {
+  const int n = static_cast<int>(r.u32());
+  const int time = static_cast<int>(r.u32());
+  EBA_REQUIRE(n >= 1 && n <= kMaxAgents && time >= 0 && time <= 4096,
+              "bad graph header");
+  CommGraph g = CommGraph::blank(n, time);
+  for (int m = 0; m < time; ++m)
+    for (AgentId from = 0; from < n; ++from)
+      for (AgentId to = 0; to < n; ++to) {
+        const std::uint8_t b = r.u8();
+        EBA_REQUIRE(b <= static_cast<std::uint8_t>(Label::unknown), "bad label");
+        g.set_label(m, from, to, static_cast<Label>(b));
+      }
+  for (AgentId j = 0; j < n; ++j) {
+    const std::uint8_t b = r.u8();
+    EBA_REQUIRE(b <= static_cast<std::uint8_t>(PrefLabel::unknown), "bad pref");
+    g.set_pref(j, static_cast<PrefLabel>(b));
+  }
+  return g;
+}
+
+void encode_message(Writer& w, const std::shared_ptr<const CommGraph>& m) {
+  EBA_REQUIRE(m != nullptr, "null graph message");
+  encode_graph(w, *m);
+}
+void decode_message(Reader& r, std::shared_ptr<const CommGraph>& m) {
+  m = std::make_shared<const CommGraph>(decode_graph(r));
+}
+
+}  // namespace eba

@@ -1,0 +1,74 @@
+// Byte-level wire format for protocol messages.
+//
+// The abstract model treats messages as values; the threaded runtime sends
+// real byte payloads. Each exchange's message alphabet gets an encoder and a
+// decoder; CommGraph payloads carry their full label matrix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/types.hpp"
+#include "exchange/basic.hpp"
+#include "exchange/fip.hpp"
+#include "graph/comm_graph.hpp"
+
+namespace eba {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data) {}
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+// E_min messages (a bare Value).
+void encode_message(Writer& w, Value m);
+void decode_message(Reader& r, Value& m);
+
+// E_basic messages.
+void encode_message(Writer& w, BasicMsg m);
+void decode_message(Reader& r, BasicMsg& m);
+
+// E_fip messages (a full communication graph).
+void encode_message(Writer& w, const std::shared_ptr<const CommGraph>& m);
+void decode_message(Reader& r, std::shared_ptr<const CommGraph>& m);
+
+void encode_graph(Writer& w, const CommGraph& g);
+[[nodiscard]] CommGraph decode_graph(Reader& r);
+
+template <class Message>
+[[nodiscard]] Bytes to_bytes(const Message& m) {
+  Writer w;
+  encode_message(w, m);
+  return w.take();
+}
+
+template <class Message>
+[[nodiscard]] Message from_bytes(const Bytes& b) {
+  Reader r(b);
+  Message m;
+  decode_message(r, m);
+  EBA_REQUIRE(r.exhausted(), "trailing bytes in message payload");
+  return m;
+}
+
+}  // namespace eba

@@ -1,0 +1,82 @@
+#include "sim/drivers.hpp"
+
+#include "action/p_basic.hpp"
+#include "action/p_min.hpp"
+#include "action/p_opt.hpp"
+#include "exchange/basic.hpp"
+#include "exchange/fip.hpp"
+#include "exchange/min.hpp"
+#include "sim/simulator.hpp"
+
+namespace eba {
+
+int RunSummary::last_nonfaulty_round() const {
+  int worst = 0;
+  for (AgentId i : record.nonfaulty) {
+    const auto& d = decisions[static_cast<std::size_t>(i)];
+    if (!d) return -1;
+    worst = std::max(worst, d->round);
+  }
+  return worst;
+}
+
+int RunSummary::round_of(AgentId i) const {
+  const auto& d = decisions[static_cast<std::size_t>(i)];
+  return d ? d->round : -1;
+}
+
+namespace {
+
+template <class X, class P>
+RunSummary summarize(const X& x, const P& p, const FailurePattern& alpha,
+                     const std::vector<Value>& inits, int t,
+                     const DriveOptions& opt) {
+  SimulateOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+  Run<X> run = simulate(x, p, alpha, inits, t, sopt);
+  RunSummary s;
+  s.n = x.n();
+  s.rounds = run.record.rounds;
+  s.bits_sent = run.bits_sent;
+  s.messages_sent = run.messages_sent;
+  s.decisions.reserve(static_cast<std::size_t>(s.n));
+  for (AgentId i = 0; i < s.n; ++i) s.decisions.push_back(run.record.decision(i));
+  s.record = std::move(run.record);
+  return s;
+}
+
+}  // namespace
+
+RunDriver make_min_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(MinExchange(n), PMin(n, t), alpha, inits, t, opt);
+  };
+}
+
+RunDriver make_basic_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(BasicExchange(n), PBasic(n, t), alpha, inits, t, opt);
+  };
+}
+
+RunDriver make_fip_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(FipExchange(n), POpt(n, t), alpha, inits, t, opt);
+  };
+}
+
+RunDriver make_fip_p0_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(FipExchange(n),
+                     POpt(n, t, POpt::CommonKnowledge::disabled), alpha, inits,
+                     t, opt);
+  };
+}
+
+std::vector<NamedDriver> paper_drivers(int n, int t, DriveOptions opt) {
+  return {{"P_min", make_min_driver(n, t, opt)},
+          {"P_basic", make_basic_driver(n, t, opt)},
+          {"P_fip", make_fip_driver(n, t, opt)}};
+}
+
+}  // namespace eba

@@ -1,0 +1,55 @@
+// Type-erased protocol drivers: a uniform way for benches, examples and
+// cross-protocol comparisons to run P_min, P_basic and P_opt on the same
+// (failure pattern, preferences) inputs and read off decision rounds and
+// message-bit totals.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "core/types.hpp"
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+struct RunSummary {
+  int n = 0;
+  int rounds = 0;  ///< rounds actually simulated
+  std::vector<std::optional<Decision>> decisions;
+  std::size_t bits_sent = 0;
+  std::size_t messages_sent = 0;
+  RunRecord record;
+
+  /// Largest decision round over nonfaulty agents; -1 if some never decide.
+  [[nodiscard]] int last_nonfaulty_round() const;
+  /// Decision round of agent i, or -1.
+  [[nodiscard]] int round_of(AgentId i) const;
+};
+
+struct DriveOptions {
+  int max_rounds = 0;  ///< 0 = t+4
+};
+
+using RunDriver =
+    std::function<RunSummary(const FailurePattern&, const std::vector<Value>&)>;
+
+RunDriver make_min_driver(int n, int t, DriveOptions opt = {});
+RunDriver make_basic_driver(int n, int t, DriveOptions opt = {});
+RunDriver make_fip_driver(int n, int t, DriveOptions opt = {});
+/// Ablation: P0 over the full-information exchange (P_opt with the
+/// common-knowledge lines disabled) — correct but not optimal.
+RunDriver make_fip_p0_driver(int n, int t, DriveOptions opt = {});
+
+struct NamedDriver {
+  std::string name;
+  RunDriver run;
+};
+
+/// The paper's three protocols, in the order P_min, P_basic, P_fip.
+[[nodiscard]] std::vector<NamedDriver> paper_drivers(int n, int t,
+                                                     DriveOptions opt = {});
+
+}  // namespace eba

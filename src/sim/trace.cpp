@@ -1,0 +1,57 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "stats/table.hpp"
+
+namespace eba {
+
+std::string format_run(const RunRecord& r, const TraceOptions& opt) {
+  EBA_REQUIRE(r.n > 0, "empty run record");
+  std::vector<std::string> headers{"agent", "init", "fate"};
+  for (int m = 0; m < r.rounds; ++m)
+    headers.push_back("round " + std::to_string(m + 1));
+  headers.emplace_back("decision");
+  Table table(std::move(headers));
+
+  for (AgentId i = 0; i < r.n; ++i) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(i));
+    row.push_back(to_string(r.inits[static_cast<std::size_t>(i)]));
+    row.emplace_back(r.nonfaulty.contains(i) ? "ok" : "faulty");
+    for (int m = 0; m < r.rounds; ++m) {
+      const Action a =
+          r.actions[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)];
+      std::string cell = a.is_decide() ? to_string(a) : ".";
+      if (opt.show_deliveries) {
+        const AgentSet sent =
+            r.sent[static_cast<std::size_t>(m)][static_cast<std::size_t>(i)];
+        const AgentSet delivered =
+            r.delivered[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(i)];
+        const AgentSet lost = sent.minus(delivered);
+        if (!lost.empty()) {
+          cell += " x{";
+          bool first = true;
+          for (AgentId j : lost) {
+            if (!first) cell += ",";
+            cell += std::to_string(j);
+            first = false;
+          }
+          cell += "}";
+        }
+      }
+      row.push_back(std::move(cell));
+    }
+    const auto d = r.decision(i);
+    row.push_back(d ? (to_string(d->value) + " @ r" + std::to_string(d->round))
+                    : "none");
+    table.add_row(std::move(row));
+  }
+
+  std::ostringstream os;
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace eba

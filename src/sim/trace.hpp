@@ -1,0 +1,20 @@
+// Human-readable run timelines: render a RunRecord as a per-agent table of
+// round actions, delivery failures and decisions. Used by the examples and
+// handy when debugging adversaries.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace eba {
+
+struct TraceOptions {
+  bool show_deliveries = true;  ///< annotate omitted deliveries per round
+};
+
+/// Multi-line rendering of the run; one row per agent, one column per round.
+[[nodiscard]] std::string format_run(const RunRecord& record,
+                                     const TraceOptions& opt = {});
+
+}  // namespace eba

@@ -1,0 +1,69 @@
+#include "stats/agg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace eba {
+
+void Aggregate::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Aggregate::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Aggregate::min() const {
+  EBA_REQUIRE(!samples_.empty(), "no samples");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Aggregate::max() const {
+  EBA_REQUIRE(!samples_.empty(), "no samples");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Aggregate::mean() const {
+  EBA_REQUIRE(!samples_.empty(), "no samples");
+  double sum = 0;
+  for (double x : samples_) sum += x;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Aggregate::percentile(double q) const {
+  EBA_REQUIRE(!samples_.empty(), "no samples");
+  EBA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile out of range");
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+void IntHistogram::add(int x) {
+  EBA_REQUIRE(x >= 0, "histogram keys are non-negative");
+  if (static_cast<std::size_t>(x) >= counts_.size())
+    counts_.resize(static_cast<std::size_t>(x) + 1, 0);
+  ++counts_[static_cast<std::size_t>(x)];
+  ++total_;
+}
+
+std::size_t IntHistogram::count(int x) const {
+  if (x < 0 || static_cast<std::size_t>(x) >= counts_.size()) return 0;
+  return counts_[static_cast<std::size_t>(x)];
+}
+
+int IntHistogram::max_key() const {
+  for (int x = static_cast<int>(counts_.size()) - 1; x >= 0; --x)
+    if (counts_[static_cast<std::size_t>(x)] > 0) return x;
+  return -1;
+}
+
+}  // namespace eba

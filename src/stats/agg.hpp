@@ -1,0 +1,40 @@
+// Streaming aggregation of scalar samples (min/max/mean/percentiles) used by
+// the benchmark harness to summarize decision rounds and bit counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace eba {
+
+class Aggregate {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  /// q in [0,1]; nearest-rank percentile.
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  void ensure_sorted() const;
+};
+
+/// Histogram over small non-negative integer outcomes (e.g. decision rounds).
+class IntHistogram {
+ public:
+  void add(int x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t count(int x) const;
+  [[nodiscard]] int max_key() const;
+
+ private:
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace eba

@@ -1,0 +1,37 @@
+// Deterministic random source used throughout benches and samplers.
+//
+// A thin wrapper over std::mt19937_64 with convenience draws; every consumer
+// takes an explicit Rng& so that experiments are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "core/assert.hpp"
+
+namespace eba {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound).
+  [[nodiscard]] int below(int bound) {
+    EBA_REQUIRE(bound > 0, "empty range");
+    return static_cast<int>(engine_() % static_cast<std::uint64_t>(bound));
+  }
+
+  /// Bernoulli draw with probability p.
+  [[nodiscard]] bool chance(double p) {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_) < p;
+  }
+
+  [[nodiscard]] std::uint64_t raw() { return engine_(); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace eba

@@ -1,0 +1,38 @@
+// Minimal aligned-column table printer for the benchmark harness, so every
+// bench binary emits the paper-style rows in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace eba {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with to_string.
+  template <class... Ts>
+  Table& row(const Ts&... cells) {
+    return add_row({cell_string(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+ private:
+  static std::string cell_string(const std::string& s) { return s; }
+  static std::string cell_string(const char* s) { return s; }
+  static std::string cell_string(double v);
+  template <class T>
+  static std::string cell_string(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eba

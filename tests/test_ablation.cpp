@@ -1,0 +1,95 @@
+// Tests for the common-knowledge ablation: P0 evaluated over the
+// full-information exchange (P_opt with the C_N lines disabled) is a
+// correct EBA protocol — Prop 6.1 holds in *every* EBA context — but it is
+// not optimal: it loses the Example 7.1 shortcut, and the knowledge-based
+// fixed point it implements is P0, not P1.
+#include <gtest/gtest.h>
+
+#include "action/p_opt.hpp"
+#include "core/spec.hpp"
+#include "exchange/fip.hpp"
+#include "failure/generators.hpp"
+#include "kripke/kbp.hpp"
+#include "kripke/system.hpp"
+#include "sim/drivers.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+namespace {
+
+TEST(Ablation, P0OnFipSatisfiesSpecExhaustively) {
+  const int n = 3;
+  const int t = 1;
+  const auto drive = make_fip_p0_driver(n, t);
+  const auto prefs = all_preference_vectors(n);
+  enumerate_adversaries(EnumerationConfig{.n = n, .t = t, .rounds = 2},
+                        [&](const FailurePattern& alpha) {
+                          for (const auto& p : prefs) {
+                            const SpecReport rep =
+                                check_eba(drive(alpha, p).record);
+                            EXPECT_TRUE(rep.ok_strict());
+                          }
+                          return !::testing::Test::HasFailure();
+                        });
+}
+
+TEST(Ablation, P0OnFipSatisfiesSpecOnRandomRuns) {
+  const int n = 8;
+  const int t = 3;
+  const auto drive = make_fip_p0_driver(n, t);
+  Rng rng(414);
+  for (int k = 0; k < 100; ++k) {
+    const auto alpha = sample_adversary(n, rng.below(t + 1), t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    ASSERT_TRUE(check_eba(drive(alpha, prefs).record).ok_strict());
+  }
+}
+
+TEST(Ablation, LosesExampleSevenOneShortcut) {
+  const int n = 8;
+  const int t = 4;
+  const auto alpha = silent_agents_pattern(
+      n, AgentSet::all(n).minus(AgentSet::all(n - t)), t + 3);
+  const std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  const RunSummary with_ck = make_fip_driver(n, t)(alpha, prefs);
+  const RunSummary without_ck = make_fip_p0_driver(n, t)(alpha, prefs);
+  for (AgentId i : alpha.nonfaulty()) {
+    EXPECT_EQ(with_ck.round_of(i), 3);
+    EXPECT_EQ(without_ck.round_of(i), t + 2)
+        << "without the common-knowledge lines the shortcut must vanish";
+  }
+}
+
+TEST(Ablation, NeverEarlierThanFullPOpt) {
+  const int n = 6;
+  const int t = 2;
+  const auto full = make_fip_driver(n, t);
+  const auto ablated = make_fip_p0_driver(n, t);
+  Rng rng(415);
+  for (int k = 0; k < 100; ++k) {
+    const auto alpha = sample_adversary(n, rng.below(t + 1), t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    const RunSummary f = full(alpha, prefs);
+    const RunSummary a = ablated(alpha, prefs);
+    for (AgentId i : alpha.nonfaulty())
+      EXPECT_LE(f.round_of(i), a.round_of(i));
+  }
+}
+
+// The ablated protocol is an implementation of the knowledge-based program
+// P0 with respect to the full-information context (Prop 6.1's "all
+// implementations of P0" covers it).
+TEST(Ablation, P0OnFipImplementsP0) {
+  InterpretedSystem<FipExchange, POpt> sys(
+      FipExchange(3), POpt(3, 1, POpt::CommonKnowledge::disabled), 1, 4);
+  sys.add_all_runs(EnumerationConfig{.n = 3, .t = 1, .rounds = 2});
+  sys.finalize();
+  const auto mismatches = check_implementation(
+      sys,
+      [](const auto& I, Point pt, AgentId i) { return eval_p0(I, pt, i); },
+      3);
+  EXPECT_TRUE(mismatches.empty()) << mismatches.size() << " mismatches";
+}
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,237 @@
+// Unit tests for core types: AgentSet, Action, RunRecord, the EBA spec
+// checker, and 0-chain analysis.
+#include <gtest/gtest.h>
+
+#include "core/chain.hpp"
+#include "core/spec.hpp"
+#include "core/types.hpp"
+
+namespace eba {
+namespace {
+
+TEST(AgentSetTest, InsertEraseContains) {
+  AgentSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(AgentSetTest, AllAndComplement) {
+  const AgentSet all = AgentSet::all(5);
+  EXPECT_EQ(all.size(), 5);
+  AgentSet s{1, 3};
+  const AgentSet c = s.complement(5);
+  EXPECT_EQ(c.size(), 3);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(s.united(c), all);
+  EXPECT_TRUE(s.intersected(c).empty());
+}
+
+TEST(AgentSetTest, IterationInOrder) {
+  AgentSet s{5, 0, 2};
+  std::vector<AgentId> seen;
+  for (AgentId i : s) seen.push_back(i);
+  EXPECT_EQ(seen, (std::vector<AgentId>{0, 2, 5}));
+}
+
+TEST(AgentSetTest, SubsetAndMinus) {
+  AgentSet a{1, 2, 3};
+  AgentSet b{1, 2, 3, 4};
+  EXPECT_TRUE(a.subset_of(b));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_EQ(b.minus(a), AgentSet{4});
+}
+
+TEST(AgentSetTest, MaxAgentsBoundary) {
+  const AgentSet full = AgentSet::all(kMaxAgents);
+  EXPECT_EQ(full.size(), kMaxAgents);
+  EXPECT_TRUE(full.contains(63));
+  EXPECT_THROW(AgentSet{}.insert(64), std::logic_error);
+  EXPECT_THROW(AgentSet::all(65), std::logic_error);
+}
+
+TEST(ActionTest, NoopAndDecide) {
+  const Action noop = Action::noop();
+  EXPECT_FALSE(noop.is_decide());
+  EXPECT_THROW((void)noop.value(), std::logic_error);
+  const Action d0 = Action::decide(Value::zero);
+  EXPECT_TRUE(d0.is_decide());
+  EXPECT_TRUE(d0.decides(Value::zero));
+  EXPECT_FALSE(d0.decides(Value::one));
+  EXPECT_EQ(d0.value(), Value::zero);
+  EXPECT_NE(d0, Action::decide(Value::one));
+  EXPECT_EQ(Action::noop(), Action());
+}
+
+TEST(ValueTest, OppositeAndConversions) {
+  EXPECT_EQ(opposite(Value::zero), Value::one);
+  EXPECT_EQ(opposite(Value::one), Value::zero);
+  EXPECT_EQ(to_int(Value::one), 1);
+  EXPECT_EQ(value_of(0), Value::zero);
+  EXPECT_EQ(to_string(Action::decide(Value::one)), "decide(1)");
+  EXPECT_EQ(to_string(std::optional<Value>{}), "⊥");
+}
+
+/// Builds an empty record shell with the given shape.
+RunRecord shell(int n, int t, int rounds) {
+  RunRecord r;
+  r.n = n;
+  r.t = t;
+  r.rounds = rounds;
+  r.inits.assign(static_cast<std::size_t>(n), Value::one);
+  r.nonfaulty = AgentSet::all(n);
+  r.actions.assign(static_cast<std::size_t>(rounds),
+                   std::vector<Action>(static_cast<std::size_t>(n)));
+  r.sent.assign(static_cast<std::size_t>(rounds),
+                std::vector<AgentSet>(static_cast<std::size_t>(n)));
+  r.delivered.assign(static_cast<std::size_t>(rounds),
+                     std::vector<AgentSet>(static_cast<std::size_t>(n)));
+  return r;
+}
+
+TEST(RunRecordTest, DecisionFindsFirstDecide) {
+  RunRecord r = shell(2, 1, 3);
+  r.actions[1][0] = Action::decide(Value::zero);
+  const auto d = r.decision(0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->round, 2);
+  EXPECT_EQ(d->value, Value::zero);
+  EXPECT_FALSE(r.decision(1).has_value());
+}
+
+TEST(SpecTest, CleanRunPasses) {
+  RunRecord r = shell(3, 1, 3);
+  for (AgentId i = 0; i < 3; ++i) r.actions[1][static_cast<std::size_t>(i)] =
+      Action::decide(Value::one);
+  const SpecReport rep = check_eba(r);
+  EXPECT_TRUE(rep.ok_strict()) << (rep.violations.empty() ? "" : rep.violations[0]);
+}
+
+TEST(SpecTest, DetectsDoubleDecision) {
+  RunRecord r = shell(3, 1, 3);
+  r.actions[0][0] = Action::decide(Value::one);
+  r.actions[1][0] = Action::decide(Value::zero);
+  for (AgentId i = 1; i < 3; ++i)
+    r.actions[1][static_cast<std::size_t>(i)] = Action::decide(Value::one);
+  EXPECT_FALSE(check_eba(r).unique_decision);
+}
+
+TEST(SpecTest, DetectsDisagreement) {
+  RunRecord r = shell(3, 1, 3);
+  r.inits[0] = Value::zero;
+  r.actions[1][0] = Action::decide(Value::zero);
+  r.actions[1][1] = Action::decide(Value::one);
+  r.actions[1][2] = Action::decide(Value::one);
+  EXPECT_FALSE(check_eba(r).agreement);
+}
+
+TEST(SpecTest, AgreementIgnoresFaultyAgents) {
+  RunRecord r = shell(3, 1, 3);
+  r.inits[0] = Value::zero;
+  r.nonfaulty = AgentSet{1, 2};
+  r.actions[1][0] = Action::decide(Value::zero);  // faulty disagrees: allowed
+  r.actions[1][1] = Action::decide(Value::one);
+  r.actions[1][2] = Action::decide(Value::one);
+  const SpecReport rep = check_eba(r);
+  EXPECT_TRUE(rep.agreement);
+  EXPECT_TRUE(rep.ok());
+}
+
+TEST(SpecTest, DetectsInvalidValue) {
+  RunRecord r = shell(3, 1, 3);  // all inits are 1
+  r.actions[0][0] = Action::decide(Value::zero);
+  for (AgentId i = 1; i < 3; ++i)
+    r.actions[1][static_cast<std::size_t>(i)] = Action::decide(Value::zero);
+  const SpecReport rep = check_eba(r);
+  EXPECT_FALSE(rep.validity);
+}
+
+TEST(SpecTest, FaultyInvalidValueOnlyFlagsStrict) {
+  RunRecord r = shell(3, 1, 3);
+  r.nonfaulty = AgentSet{1, 2};
+  r.actions[0][0] = Action::decide(Value::zero);  // faulty decides unheld value
+  r.actions[1][1] = Action::decide(Value::one);
+  r.actions[1][2] = Action::decide(Value::one);
+  const SpecReport rep = check_eba(r);
+  EXPECT_TRUE(rep.validity);
+  EXPECT_FALSE(rep.validity_all);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_FALSE(rep.ok_strict());
+}
+
+TEST(SpecTest, DetectsNonTermination) {
+  RunRecord r = shell(3, 1, 4);
+  r.actions[1][0] = Action::decide(Value::one);
+  r.actions[1][1] = Action::decide(Value::one);
+  // agent 2 never decides
+  const SpecReport rep = check_eba(r);
+  EXPECT_FALSE(rep.termination);
+}
+
+TEST(SpecTest, DetectsLateDecision) {
+  RunRecord r = shell(3, 1, 5);
+  for (AgentId i = 0; i < 3; ++i)
+    r.actions[4][static_cast<std::size_t>(i)] = Action::decide(Value::one);
+  const SpecReport rep = check_eba(r);
+  EXPECT_TRUE(rep.termination);
+  EXPECT_FALSE(rep.termination_bound);  // round 5 > t+2 = 3
+}
+
+/// A hand-built run with a 0-chain 0 -> 1 -> 2: agent 0 has init 0, decides
+/// round 1 and reaches only agent 1; agent 1 decides round 2 and reaches
+/// only agent 2; agent 2 decides round 3 but its decision message reaches
+/// nobody, so agent 3's later 0-decision does not extend the chain.
+RunRecord chain_run() {
+  RunRecord r = shell(4, 2, 4);
+  r.inits[0] = Value::zero;
+  r.nonfaulty = AgentSet{2, 3};
+  r.actions[0][0] = Action::decide(Value::zero);
+  r.delivered[0][0] = AgentSet{1};
+  r.actions[1][1] = Action::decide(Value::zero);
+  r.delivered[1][1] = AgentSet{2};
+  r.actions[2][2] = Action::decide(Value::zero);
+  r.delivered[2][2] = AgentSet{};
+  r.actions[3][3] = Action::decide(Value::zero);
+  return r;
+}
+
+TEST(ChainTest, DetectsChainPositions) {
+  const auto a = analyze_zero_chains(chain_run());
+  EXPECT_EQ(a.longest, 2);
+  EXPECT_TRUE(a.receives_chain(0, 0));
+  EXPECT_TRUE(a.receives_chain(1, 1));
+  EXPECT_TRUE(a.receives_chain(2, 2));
+  EXPECT_EQ(a.chain_end_time[3], -1);  // never hears the round-3 decision
+}
+
+TEST(ChainTest, LongestChainAgents) {
+  const auto chain = longest_zero_chain(chain_run());
+  EXPECT_EQ(chain, (std::vector<AgentId>{0, 1, 2}));
+}
+
+TEST(ChainTest, NoChainWithoutZeroInit) {
+  RunRecord r = shell(3, 1, 3);
+  r.actions[1][0] = Action::decide(Value::zero);  // decides 0 but no init 0
+  const auto a = analyze_zero_chains(r);
+  EXPECT_EQ(a.longest, -1);
+}
+
+TEST(ChainTest, BrokenDeliveryBreaksChain) {
+  RunRecord r = chain_run();
+  r.delivered[1][1] = AgentSet{};  // agent 2 never hears the round-2 decision
+  const auto a = analyze_zero_chains(r);
+  EXPECT_EQ(a.longest, 1);
+  EXPECT_EQ(a.chain_end_time[2], -1);
+}
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,126 @@
+// Unit tests for failure patterns and adversary generators.
+#include <gtest/gtest.h>
+
+#include "failure/generators.hpp"
+#include "failure/pattern.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+namespace {
+
+TEST(PatternTest, FailureFreeDeliversEverything) {
+  const auto p = FailurePattern::failure_free(4);
+  EXPECT_EQ(p.nonfaulty(), AgentSet::all(4));
+  EXPECT_EQ(p.num_faulty(), 0);
+  for (int m = 0; m < 5; ++m)
+    for (AgentId i = 0; i < 4; ++i)
+      for (AgentId j = 0; j < 4; ++j) EXPECT_TRUE(p.delivered(m, i, j));
+  EXPECT_TRUE(p.in_so(0));
+  EXPECT_TRUE(p.is_crash());
+}
+
+TEST(PatternTest, DropsOnlyFromFaultySenders) {
+  FailurePattern p(3, AgentSet{0, 1});  // agent 2 faulty
+  p.drop(0, 2, 0);
+  EXPECT_FALSE(p.delivered(0, 2, 0));
+  EXPECT_TRUE(p.delivered(0, 2, 1));
+  EXPECT_TRUE(p.delivered(1, 2, 0));  // only round 1 dropped
+  EXPECT_THROW(p.drop(0, 0, 1), std::logic_error);  // nonfaulty sender
+  EXPECT_THROW(p.drop(0, 2, 2), std::logic_error);  // self-delivery
+}
+
+TEST(PatternTest, SelfDeliveryAlwaysSucceeds) {
+  FailurePattern p(3, AgentSet{0, 1});
+  p.silence(0, 2);
+  EXPECT_TRUE(p.delivered(0, 2, 2));
+  EXPECT_EQ(p.dropped(0, 2).size(), 2);
+}
+
+TEST(PatternTest, CrashDetection) {
+  const auto crash = crash_pattern(4, 1, 1, AgentSet{2}, 4);
+  EXPECT_TRUE(crash.is_crash());
+  EXPECT_TRUE(crash.delivered(0, 1, 0));   // before crash
+  EXPECT_TRUE(crash.delivered(1, 1, 2));   // survivor of crash round
+  EXPECT_FALSE(crash.delivered(1, 1, 0));  // dropped in crash round
+  EXPECT_FALSE(crash.delivered(2, 1, 2));  // silent afterwards
+
+  FailurePattern not_crash(3, AgentSet{0, 1});
+  not_crash.drop(0, 2, 0);  // partial drop, then full delivery again
+  not_crash.drop(2, 2, 0);
+  not_crash.drop(2, 2, 1);
+  EXPECT_FALSE(not_crash.is_crash());
+}
+
+TEST(PatternTest, SilentAgentsScenario) {
+  const auto p = silent_agents_pattern(5, AgentSet{0, 1}, 3);
+  EXPECT_EQ(p.faulty(), (AgentSet{0, 1}));
+  for (int m = 0; m < 3; ++m) {
+    EXPECT_FALSE(p.delivered(m, 0, 4));
+    EXPECT_FALSE(p.delivered(m, 1, 2));
+    EXPECT_TRUE(p.delivered(m, 2, 3));
+  }
+}
+
+TEST(EnumerationTest, CountsMatchFormula) {
+  // n=3, t=1, rounds=2: 1 (no faulty) + 3 * 2^(1*2*2) = 49.
+  EnumerationConfig cfg{.n = 3, .t = 1, .rounds = 2};
+  EXPECT_EQ(count_adversaries(cfg), 49u);
+  std::uint64_t visited = enumerate_adversaries(cfg, [](const auto&) { return true; });
+  EXPECT_EQ(visited, 49u);
+}
+
+TEST(EnumerationTest, AllPatternsAreValidSo) {
+  EnumerationConfig cfg{.n = 4, .t = 2, .rounds = 1};
+  std::uint64_t visited = enumerate_adversaries(cfg, [&](const FailurePattern& p) {
+    EXPECT_TRUE(p.in_so(2));
+    EXPECT_EQ(p.n(), 4);
+    return true;
+  });
+  // 1 + C(4,1)*2^3 + C(4,2)*2^6 = 1 + 32 + 384 = 417.
+  EXPECT_EQ(visited, 417u);
+}
+
+TEST(EnumerationTest, EarlyStop) {
+  EnumerationConfig cfg{.n = 3, .t = 1, .rounds = 2};
+  int seen = 0;
+  enumerate_adversaries(cfg, [&](const auto&) { return ++seen < 10; });
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(SamplerTest, RespectsShapeAndSeedDeterminism) {
+  Rng rng1(42);
+  Rng rng2(42);
+  for (int k = 0; k < 20; ++k) {
+    const auto p1 = sample_adversary(8, 3, 4, 0.3, rng1);
+    const auto p2 = sample_adversary(8, 3, 4, 0.3, rng2);
+    EXPECT_EQ(p1.num_faulty(), 3);
+    EXPECT_TRUE(p1.in_so(3));
+    EXPECT_EQ(p1, p2) << "sampling must be deterministic per seed";
+  }
+}
+
+TEST(SamplerTest, UniformFaultySelectionCoversAllAgents) {
+  Rng rng(7);
+  AgentSet seen;
+  for (int k = 0; k < 200; ++k)
+    seen = seen.united(sample_adversary(6, 2, 1, 0.5, rng).faulty());
+  EXPECT_EQ(seen, AgentSet::all(6));
+}
+
+TEST(PreferenceTest, AllVectorsEnumerated) {
+  const auto prefs = all_preference_vectors(3);
+  EXPECT_EQ(prefs.size(), 8u);
+  int zeros = 0;
+  for (const auto& p : prefs)
+    for (Value v : p) zeros += v == Value::zero ? 1 : 0;
+  EXPECT_EQ(zeros, 12);  // each slot is 0 in half the vectors
+}
+
+TEST(PreferenceTest, SampleDeterministic) {
+  Rng a(9);
+  Rng b(9);
+  EXPECT_EQ(sample_preferences(10, a), sample_preferences(10, b));
+}
+
+}  // namespace
+}  // namespace eba

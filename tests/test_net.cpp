@@ -1,0 +1,172 @@
+// Messaging-layer tests: wire-format round trips, the round bus barrier and
+// fault injection, and end-to-end equivalence of the threaded cluster with
+// the abstract simulator.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "action/p_basic.hpp"
+#include "action/p_min.hpp"
+#include "action/p_opt.hpp"
+#include "core/spec.hpp"
+#include "failure/generators.hpp"
+#include "net/cluster.hpp"
+#include "net/serialize.hpp"
+#include "sim/simulator.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+namespace {
+
+TEST(SerializeTest, ValueRoundTrip) {
+  for (Value v : {Value::zero, Value::one})
+    EXPECT_EQ(from_bytes<Value>(to_bytes(v)), v);
+}
+
+TEST(SerializeTest, BasicMsgRoundTrip) {
+  for (BasicMsg m : {BasicMsg::decide0, BasicMsg::decide1, BasicMsg::init1})
+    EXPECT_EQ(from_bytes<BasicMsg>(to_bytes(m)), m);
+}
+
+TEST(SerializeTest, GraphRoundTrip) {
+  CommGraph g(4, 2, Value::one);
+  g.advance_round(2, AgentSet{0, 3});
+  g.advance_round(2, AgentSet{1});
+  g.set_pref(0, PrefLabel::zero);
+  Writer w;
+  encode_graph(w, g);
+  const Bytes payload = w.take();
+  Reader r(payload);
+  EXPECT_EQ(decode_graph(r), g);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, SharedGraphMessageRoundTrip) {
+  const auto g = std::make_shared<const CommGraph>(CommGraph(3, 1, Value::zero));
+  const auto back = from_bytes<std::shared_ptr<const CommGraph>>(to_bytes(g));
+  EXPECT_EQ(*back, *g);
+}
+
+TEST(SerializeTest, TruncatedPayloadThrows) {
+  Bytes b = to_bytes(std::make_shared<const CommGraph>(CommGraph(3, 0, Value::one)));
+  b.pop_back();
+  EXPECT_THROW((void)from_bytes<std::shared_ptr<const CommGraph>>(b), std::logic_error);
+}
+
+TEST(SerializeTest, TrailingBytesThrow) {
+  Bytes b = to_bytes(Value::one);
+  b.push_back(0);
+  EXPECT_THROW((void)from_bytes<Value>(b), std::logic_error);
+}
+
+TEST(RoundBusTest, BarrierDeliversAndFilters) {
+  const int n = 3;
+  FailurePattern alpha(n, AgentSet{0, 1});
+  alpha.drop(0, 2, 0);
+  RoundBus bus(n, alpha);
+  std::vector<RoundBus::RoundResult> results(static_cast<std::size_t>(n));
+  {
+    std::vector<std::jthread> threads;
+    for (AgentId i = 0; i < n; ++i)
+      threads.emplace_back([&, i] {
+        results[static_cast<std::size_t>(i)] =
+            bus.exchange(i, Bytes{static_cast<std::uint8_t>(i)}, false);
+      });
+  }
+  // Agent 0 misses agent 2's payload; everyone else gets everything.
+  EXPECT_FALSE(results[0].inbox[2].has_value());
+  EXPECT_TRUE(results[0].inbox[1].has_value());
+  EXPECT_TRUE(results[1].inbox[2].has_value());
+  EXPECT_TRUE(results[2].inbox[2].has_value()) << "self-delivery";
+  EXPECT_EQ((*results[1].inbox[2])[0], 2);
+  EXPECT_FALSE(results[0].all_decided);
+  EXPECT_EQ(bus.completed_rounds(), 1);
+  EXPECT_EQ(bus.delivered_log(0)[2], AgentSet{1});
+}
+
+TEST(RoundBusTest, AllDecidedFlagAggregates) {
+  const int n = 2;
+  RoundBus bus(n, FailurePattern::failure_free(n));
+  RoundBus::RoundResult r0, r1;
+  {
+    std::vector<std::jthread> threads;
+    threads.emplace_back([&] { r0 = bus.exchange(0, std::nullopt, true); });
+    threads.emplace_back([&] { r1 = bus.exchange(1, std::nullopt, true); });
+  }
+  EXPECT_TRUE(r0.all_decided);
+  EXPECT_TRUE(r1.all_decided);
+}
+
+template <class X, class P>
+void expect_cluster_matches_simulator(const X& x, const P& p,
+                                      const FailurePattern& alpha,
+                                      const std::vector<Value>& inits, int t) {
+  const auto cluster = run_cluster(x, p, alpha, inits, t);
+  SimulateOptions opt;
+  opt.max_rounds = t + 4;
+  const auto sim = simulate(x, p, alpha, inits, t, opt);
+  ASSERT_EQ(cluster.record.rounds, sim.record.rounds);
+  EXPECT_EQ(cluster.record.actions, sim.record.actions);
+  EXPECT_EQ(cluster.record.delivered, sim.record.delivered);
+  EXPECT_EQ(cluster.record.sent, sim.record.sent);
+  for (AgentId i = 0; i < x.n(); ++i)
+    EXPECT_EQ(cluster.final_states[static_cast<std::size_t>(i)],
+              sim.states.back()[static_cast<std::size_t>(i)]);
+}
+
+TEST(ClusterTest, MatchesSimulatorPMin) {
+  const int n = 5;
+  const int t = 2;
+  Rng rng(31);
+  for (int k = 0; k < 10; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    expect_cluster_matches_simulator(MinExchange(n), PMin(n, t), alpha, prefs, t);
+  }
+}
+
+TEST(ClusterTest, MatchesSimulatorPBasic) {
+  const int n = 5;
+  const int t = 2;
+  Rng rng(32);
+  for (int k = 0; k < 10; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    expect_cluster_matches_simulator(BasicExchange(n), PBasic(n, t), alpha,
+                                     prefs, t);
+  }
+}
+
+TEST(ClusterTest, MatchesSimulatorPOptWithGraphPayloads) {
+  const int n = 4;
+  const int t = 2;
+  Rng rng(33);
+  for (int k = 0; k < 5; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    expect_cluster_matches_simulator(FipExchange(n), POpt(n, t), alpha, prefs, t);
+  }
+}
+
+TEST(ClusterTest, ExampleSeventyOneOverTheWire) {
+  // The headline example end-to-end over byte payloads: 8 agents, t=4,
+  // 4 silent faulty agents, all-ones preferences — the FIP cluster decides 1
+  // in round 3.
+  const int n = 8;
+  const int t = 4;
+  AgentSet silent;
+  for (AgentId i = 0; i < t; ++i) silent.insert(i);
+  const auto alpha = silent_agents_pattern(n, silent, t + 3);
+  const std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  const auto result = run_cluster(FipExchange(n), POpt(n, t), alpha, prefs, t);
+  for (AgentId i : alpha.nonfaulty()) {
+    const auto d = result.record.decision(i);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->round, 3);
+    EXPECT_EQ(d->value, Value::one);
+  }
+  EXPECT_TRUE(check_eba(result.record).ok());
+}
+
+}  // namespace
+}  // namespace eba

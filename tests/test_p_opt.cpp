@@ -1,0 +1,187 @@
+// Unit tests for P_opt's graph tests (Def. A.19): common_v, cond_0, cond_1,
+// and the inferred-action machinery, on hand-picked scenarios where the
+// expected truth values are derivable from the paper's arguments.
+#include <gtest/gtest.h>
+
+#include "action/p_opt.hpp"
+#include "core/spec.hpp"
+#include "failure/generators.hpp"
+#include "graph/knowledge.hpp"
+#include "sim/simulator.hpp"
+
+namespace eba {
+namespace {
+
+Run<FipExchange> run_fip(int n, int t, const FailurePattern& alpha,
+                         const std::vector<Value>& inits, int rounds) {
+  SimulateOptions opt;
+  opt.max_rounds = rounds;
+  opt.stop_when_all_decided = false;
+  return simulate(FipExchange(n), POpt(n, t), alpha, inits, t, opt);
+}
+
+std::vector<Value> all_ones(int n) {
+  return std::vector<Value>(static_cast<std::size_t>(n), Value::one);
+}
+
+TEST(POptConditions, Cond0AtTimeZeroIsOwnInit) {
+  const FipExchange x(3);
+  const FipState s0 = x.initial_state(0, Value::zero);
+  const FipState s1 = x.initial_state(1, Value::one);
+  EXPECT_TRUE(POpt::cond0_test(s0.graph, 0, Value::zero, s0.inferred));
+  EXPECT_FALSE(POpt::cond0_test(s1.graph, 1, Value::one, s1.inferred));
+}
+
+TEST(POptConditions, Cond1FalseAtTimeZero) {
+  const FipExchange x(3);
+  const FipState s = x.initial_state(0, Value::one);
+  EXPECT_FALSE(POpt::cond1_test(s.graph, 0, s.inferred));
+}
+
+TEST(POptConditions, Cond0SeesDeliveredZeroDecision) {
+  // Agent 0 has init 0 and decides in round 1; its round-1 graph reaches
+  // agent 1 but (by omission... agent 0 is nonfaulty, so everyone) hears it.
+  const int n = 3;
+  const auto run = run_fip(n, 1, FailurePattern::failure_free(n),
+                           {Value::zero, Value::one, Value::one}, 2);
+  const FipState& s1 = run.states[1][1];
+  const POpt p(n, 1);
+  p.infer_actions(s1);
+  EXPECT_TRUE(POpt::cond0_test(s1.graph, 1, Value::one, s1.inferred));
+  EXPECT_EQ(s1.inferred.get(0, 0), KnownAction::decide0);
+}
+
+TEST(POptConditions, Cond1TrueWhenEveryoneHeardAndNoZeros) {
+  // Failure-free all-ones at time 1: no hidden 0-chain can exist because
+  // every agent's init is known to be 1.
+  const int n = 4;
+  const auto run = run_fip(n, 2, FailurePattern::failure_free(n), all_ones(n), 1);
+  const FipState& s = run.states[1][0];
+  const POpt p(n, 2);
+  p.infer_actions(s);
+  EXPECT_TRUE(POpt::cond1_test(s.graph, 0, s.inferred));
+}
+
+TEST(POptConditions, Cond1FalseWhileHiddenChainPossible) {
+  // One silent faulty agent with unknown preference: it could have had
+  // init 0 and be feeding a hidden 0-chain, so cond_1 must fail at time 1
+  // (the silent agent plus one more unheard slot would be needed at time 2;
+  // at time 1 a chain of length 1 through the silent agent is conceivable).
+  const int n = 4;
+  const auto alpha = silent_agents_pattern(n, AgentSet{3}, 3);
+  const auto run = run_fip(n, 1, alpha, all_ones(n), 1);
+  const FipState& s = run.states[1][0];
+  const POpt p(n, 1);
+  p.infer_actions(s);
+  EXPECT_FALSE(POpt::cond1_test(s.graph, 0, s.inferred));
+}
+
+TEST(POptConditions, CommonRequiresAtLeastOneRound) {
+  const FipExchange x(3);
+  const FipState s = x.initial_state(0, Value::one);
+  EXPECT_FALSE(POpt::common_test(s.graph, 0, Value::one, 1, s.inferred));
+  EXPECT_FALSE(POpt::common_test(s.graph, 0, Value::zero, 1, s.inferred));
+}
+
+TEST(POptConditions, CommonOneHoldsAfterSilentFaultsDetected) {
+  // Example 7.1 in miniature: n=4, t=1, agent 3 silent, all inits 1.
+  // At time 1 each nonfaulty agent detects the fault (dist holds); at time 2
+  // C_N(t-faulty ∧ no-decided(0) ∧ ∃1) holds and common_test must fire.
+  const int n = 4;
+  const int t = 1;
+  const auto alpha = silent_agents_pattern(n, AgentSet{3}, 3);
+  const auto run = run_fip(n, t, alpha, all_ones(n), 2);
+  const POpt p(n, t);
+
+  const FipState& s1 = run.states[1][0];
+  p.infer_actions(s1);
+  EXPECT_FALSE(POpt::common_test(s1.graph, 0, Value::one, t, s1.inferred))
+      << "only distributed knowledge at time 1, not common";
+
+  const FipState& s2 = run.states[2][0];
+  p.infer_actions(s2);
+  EXPECT_TRUE(POpt::common_test(s2.graph, 0, Value::one, t, s2.inferred));
+  EXPECT_FALSE(POpt::common_test(s2.graph, 0, Value::zero, t, s2.inferred))
+      << "no agent is known to prefer 0";
+}
+
+TEST(POptConditions, CommonZeroBlockedByKnownOneDecision) {
+  // If some possibly-nonfaulty agent already decided 1, common_0 cannot
+  // hold (condition (b) of Def. A.19).
+  const int n = 4;
+  const int t = 1;
+  const auto alpha = silent_agents_pattern(n, AgentSet{3}, 4);
+  SimulateOptions opt;
+  opt.max_rounds = 4;
+  opt.stop_when_all_decided = false;
+  const auto run = simulate(FipExchange(n), POpt(n, t), alpha, all_ones(n), t, opt);
+  // By time 3, the nonfaulty agents decided 1 in round 3; common_0 stays
+  // false ever after.
+  const FipState& s3 = run.states[3][0];
+  const POpt p(n, t);
+  p.infer_actions(s3);
+  EXPECT_FALSE(POpt::common_test(s3.graph, 0, Value::zero, t, s3.inferred));
+}
+
+TEST(POptInference, TablesAreConsistentWithActualActions) {
+  // Whatever an agent infers about (j, m) must match what j actually did.
+  const int n = 5;
+  const int t = 2;
+  Rng rng(77);
+  for (int k = 0; k < 20; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    SimulateOptions opt;
+    opt.max_rounds = t + 3;
+    opt.stop_when_all_decided = false;
+    const auto run = simulate(FipExchange(n), POpt(n, t), alpha, prefs, t, opt);
+    const POpt p(n, t);
+    for (int m = 0; m <= t + 3; ++m) {
+      for (AgentId i = 0; i < n; ++i) {
+        const FipState& s = run.states[static_cast<std::size_t>(m)]
+                                      [static_cast<std::size_t>(i)];
+        p.infer_actions(s);
+        for (AgentId j = 0; j < n; ++j) {
+          for (int m2 = 0; m2 < m; ++m2) {
+            const KnownAction known = s.inferred.get(j, m2);
+            if (known == KnownAction::unknown) continue;
+            const Action actual =
+                m2 < run.record.rounds
+                    ? run.record.actions[static_cast<std::size_t>(m2)]
+                                        [static_cast<std::size_t>(j)]
+                    : Action::noop();
+            EXPECT_EQ(known, to_known(actual))
+                << "observer " << i << " about (" << j << "," << m2 << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(POptInference, SilentAgentStaysUnknown) {
+  const int n = 4;
+  const auto alpha = silent_agents_pattern(n, AgentSet{3}, 3);
+  const auto run = run_fip(n, 1, alpha, all_ones(n), 2);
+  const FipState& s = run.states[2][0];
+  const POpt p(n, 1);
+  p.infer_actions(s);
+  EXPECT_EQ(s.inferred.get(3, 0), KnownAction::unknown);
+  EXPECT_EQ(s.inferred.get(3, 1), KnownAction::unknown);
+}
+
+TEST(POptProtocol, RejectsForeignState) {
+  const POpt p(4, 1);
+  const FipExchange x(3);
+  const FipState s = x.initial_state(0, Value::one);
+  EXPECT_THROW((void)p(s), std::logic_error);
+}
+
+TEST(POptProtocol, BoundsValidated) {
+  EXPECT_THROW(POpt(3, 2), std::logic_error);  // needs n - t >= 2
+  EXPECT_THROW(POpt(3, -1), std::logic_error);
+  EXPECT_NO_THROW(POpt(3, 1));
+}
+
+}  // namespace
+}  // namespace eba

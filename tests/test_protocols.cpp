@@ -1,0 +1,140 @@
+// Cross-protocol behavioural tests: the paper's worked claims
+// (Prop 8.2 failure-free decision rounds, Example 7.1, Prop 6.1 termination
+// bound) on concrete runs of P_min, P_basic and P_fip.
+#include <gtest/gtest.h>
+
+#include "core/spec.hpp"
+#include "failure/generators.hpp"
+#include "sim/drivers.hpp"
+
+namespace eba {
+namespace {
+
+std::vector<Value> all_ones(int n) {
+  return std::vector<Value>(static_cast<std::size_t>(n), Value::one);
+}
+
+std::vector<Value> ones_with_zero_at(int n, AgentId who) {
+  auto v = all_ones(n);
+  v[static_cast<std::size_t>(who)] = Value::zero;
+  return v;
+}
+
+struct Shape {
+  int n;
+  int t;
+};
+
+class FailureFree : public ::testing::TestWithParam<Shape> {};
+
+// Prop 8.2(a): failure-free with some 0 preference: everyone decides 0 by
+// round 2 under all three protocols.
+TEST_P(FailureFree, SomeZeroDecidesByRoundTwo) {
+  const auto [n, t] = GetParam();
+  const auto alpha = FailurePattern::failure_free(n);
+  for (const auto& [name, drive] : paper_drivers(n, t)) {
+    for (AgentId z = 0; z < n; ++z) {
+      const RunSummary s = drive(alpha, ones_with_zero_at(n, z));
+      for (AgentId i = 0; i < n; ++i) {
+        ASSERT_TRUE(s.decisions[static_cast<std::size_t>(i)].has_value())
+            << name << " agent " << i;
+        EXPECT_EQ(s.decisions[static_cast<std::size_t>(i)]->value, Value::zero)
+            << name;
+        EXPECT_LE(s.decisions[static_cast<std::size_t>(i)]->round, 2) << name;
+      }
+      EXPECT_TRUE(check_eba(s.record).ok_strict()) << name;
+    }
+  }
+}
+
+// Prop 8.2(b): failure-free all-1: P_min decides in round t+2; P_basic and
+// P_fip decide in round 2.
+TEST_P(FailureFree, AllOnesRounds) {
+  const auto [n, t] = GetParam();
+  const auto alpha = FailurePattern::failure_free(n);
+  const auto prefs = all_ones(n);
+
+  const RunSummary min_run = make_min_driver(n, t)(alpha, prefs);
+  const RunSummary basic_run = make_basic_driver(n, t)(alpha, prefs);
+  const RunSummary fip_run = make_fip_driver(n, t)(alpha, prefs);
+
+  for (AgentId i = 0; i < n; ++i) {
+    EXPECT_EQ(min_run.round_of(i), t + 2) << "P_min agent " << i;
+    EXPECT_EQ(basic_run.round_of(i), 2) << "P_basic agent " << i;
+    EXPECT_EQ(fip_run.round_of(i), 2) << "P_fip agent " << i;
+    EXPECT_EQ(min_run.decisions[static_cast<std::size_t>(i)]->value, Value::one);
+    EXPECT_EQ(basic_run.decisions[static_cast<std::size_t>(i)]->value, Value::one);
+    EXPECT_EQ(fip_run.decisions[static_cast<std::size_t>(i)]->value, Value::one);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FailureFree,
+                         ::testing::Values(Shape{3, 1}, Shape{4, 1}, Shape{4, 2},
+                                           Shape{5, 2}, Shape{5, 3}, Shape{6, 2},
+                                           Shape{7, 4}, Shape{8, 3}),
+                         [](const ::testing::TestParamInfo<Shape>& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "t" +
+                                  std::to_string(pinfo.param.t);
+                         });
+
+// Example 7.1: n=20, t=10, all preferences 1, agents 0..9 faulty and silent.
+// The FIP decides in round 3; P_min and P_basic decide in round 12.
+TEST(Example71, FipDecidesRoundThreeOthersRoundTwelve) {
+  const int n = 20;
+  const int t = 10;
+  AgentSet silent;
+  for (AgentId i = 0; i < t; ++i) silent.insert(i);
+  const auto alpha = silent_agents_pattern(n, silent, t + 3);
+  const auto prefs = all_ones(n);
+
+  const RunSummary fip_run = make_fip_driver(n, t)(alpha, prefs);
+  const RunSummary min_run = make_min_driver(n, t)(alpha, prefs);
+  const RunSummary basic_run = make_basic_driver(n, t)(alpha, prefs);
+
+  for (AgentId i : alpha.nonfaulty()) {
+    EXPECT_EQ(fip_run.round_of(i), 3) << "P_fip agent " << i;
+    EXPECT_EQ(min_run.round_of(i), t + 2) << "P_min agent " << i;
+    EXPECT_EQ(basic_run.round_of(i), t + 2) << "P_basic agent " << i;
+  }
+  EXPECT_TRUE(check_eba(fip_run.record).ok());
+  EXPECT_TRUE(check_eba(min_run.record).ok());
+  EXPECT_TRUE(check_eba(basic_run.record).ok());
+}
+
+// Prop 6.1 / Prop 7.3 over every small adversary: all three protocols
+// satisfy the EBA spec (with validity even for faulty agents and the t+2
+// termination bound) on every SO(t) pattern with drops in the first two
+// rounds and every preference vector.
+class ExhaustiveSpec : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ExhaustiveSpec, AllAdversariesAllPreferences) {
+  const auto [n, t] = GetParam();
+  EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
+  const auto prefs = all_preference_vectors(n);
+  const auto drivers = paper_drivers(n, t);
+  std::uint64_t checked = 0;
+  enumerate_adversaries(cfg, [&](const FailurePattern& alpha) {
+    for (const auto& p : prefs) {
+      for (const auto& [name, drive] : drivers) {
+        const RunSummary s = drive(alpha, p);
+        const SpecReport rep = check_eba(s.record);
+        EXPECT_TRUE(rep.ok_strict())
+            << name << ": " << (rep.violations.empty() ? "?" : rep.violations[0]);
+        ++checked;
+        if (::testing::Test::HasFailure()) return false;
+      }
+    }
+    return true;
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ExhaustiveSpec,
+                         ::testing::Values(Shape{3, 1}, Shape{4, 1}),
+                         [](const ::testing::TestParamInfo<Shape>& pinfo) {
+                           return "n" + std::to_string(pinfo.param.n) + "t" +
+                                  std::to_string(pinfo.param.t);
+                         });
+
+}  // namespace
+}  // namespace eba

@@ -1,0 +1,147 @@
+// Proposition 6.4 — the safety condition (Definition 6.2) under which
+// Theorem 6.3 guarantees that every implementation of P0 is optimal —
+// checked mechanically for γ_min and γ_basic on exhaustively enumerated
+// contexts:
+//
+//  (1) if agent i has not received a 0-chain by (r, m), there is a point
+//      (r', m) with the same local state where ALL agents prefer 1
+//      ("the only way to learn about a 0 is a 0-chain");
+//
+//  (2) if i is undecided and does not know that nobody is deciding 0, there
+//      is a point (r', m) with the same local state where i is nonfaulty
+//      and some NONFAULTY agent decides 0 in round m+1 ("the only obstacle
+//      to deciding 1 is a possibly-nonfaulty 0-decider").
+//
+// Together with Prop 6.1 (correctness, already tested) these are exactly
+// the hypotheses of Thm 6.3, so passing here is a mechanical certificate of
+// the optimality of P_min and P_basic on these contexts.
+#include <gtest/gtest.h>
+
+#include "action/p_basic.hpp"
+#include "action/p_min.hpp"
+#include "action/p_opt.hpp"
+#include "core/chain.hpp"
+#include "exchange/fip.hpp"
+#include "kripke/system.hpp"
+
+namespace eba {
+namespace {
+
+template <class Sys>
+void check_safety(const Sys& sys, int max_time) {
+  const int n = sys.n();
+
+  // Per-run 0-chain structure.
+  std::vector<ZeroChainAnalysis> chains;
+  chains.reserve(static_cast<std::size_t>(sys.num_runs()));
+  for (int r = 0; r < sys.num_runs(); ++r)
+    chains.push_back(analyze_zero_chains(sys.run(r).record));
+
+  auto received_chain_by = [&](int r, AgentId i, int m) {
+    const int end = chains[static_cast<std::size_t>(r)]
+                        .chain_end_time[static_cast<std::size_t>(i)];
+    return end >= 0 && end <= m;
+  };
+
+  int clause1_exercised = 0;
+  int clause2_exercised = 0;
+  for (int r = 0; r < sys.num_runs(); ++r) {
+    for (int m = 0; m <= max_time; ++m) {
+      const Point pt{r, m};
+      for (AgentId i = 0; i < n; ++i) {
+        // ---- Clause (1) ----
+        if (!received_chain_by(r, i, m)) {
+          bool witness = false;
+          for (int r2 : sys.indistinguishable_runs(i, pt)) {
+            if (!sys.exists_init({r2, m}, Value::zero)) {
+              witness = true;
+              break;
+            }
+          }
+          EXPECT_TRUE(witness)
+              << "clause 1: run " << r << " time " << m << " agent " << i;
+          ++clause1_exercised;
+        }
+
+        // ---- Clause (2) ----
+        if (sys.decided(pt, i)) continue;
+        const bool knows_no_decider = sys.knows(i, pt, [&](Point q) {
+          for (AgentId j = 0; j < n; ++j)
+            if (sys.deciding(q, j, Value::zero)) return false;
+          return true;
+        });
+        if (knows_no_decider) continue;
+        bool witness = false;
+        for (int r2 : sys.indistinguishable_runs(i, pt)) {
+          const Point q{r2, m};
+          if (!sys.nonfaulty(q, i)) continue;
+          for (AgentId j : sys.nonfaulty_set(q)) {
+            if (sys.deciding(q, j, Value::zero)) {
+              witness = true;
+              break;
+            }
+          }
+          if (witness) break;
+        }
+        EXPECT_TRUE(witness)
+            << "clause 2: run " << r << " time " << m << " agent " << i;
+        ++clause2_exercised;
+      }
+    }
+  }
+  EXPECT_GT(clause1_exercised, 0);
+  EXPECT_GT(clause2_exercised, 0);
+}
+
+TEST(Prop64Safety, HoldsInMinContext) {
+  for (const int n : {3, 4}) {
+    InterpretedSystem<MinExchange, PMin> sys(MinExchange(n), PMin(n, 1), 1, 4);
+    sys.add_all_runs(EnumerationConfig{.n = n, .t = 1, .rounds = 2});
+    sys.finalize();
+    check_safety(sys, /*max_time=*/2);
+  }
+}
+
+TEST(Prop64Safety, HoldsInBasicContext) {
+  for (const int n : {3, 4}) {
+    InterpretedSystem<BasicExchange, PBasic> sys(BasicExchange(n),
+                                                 PBasic(n, 1), 1, 4);
+    sys.add_all_runs(EnumerationConfig{.n = n, .t = 1, .rounds = 2});
+    sys.finalize();
+    check_safety(sys, /*max_time=*/2);
+  }
+}
+
+// Contrast: the safety condition does NOT hold for the full-information
+// exchange (the paper's remark after Def 6.2) — an agent can learn about a
+// 0 without receiving a 0-chain, so clause (1) must fail somewhere. This is
+// exactly why P0 is not optimal for γ_fip and P1 is needed.
+TEST(Prop64Safety, Clause1FailsInFipContext) {
+  InterpretedSystem<FipExchange, POpt> sys(FipExchange(3), POpt(3, 1), 1, 4);
+  sys.add_all_runs(EnumerationConfig{.n = 3, .t = 1, .rounds = 2});
+  sys.finalize();
+
+  std::vector<ZeroChainAnalysis> chains;
+  for (int r = 0; r < sys.num_runs(); ++r)
+    chains.push_back(analyze_zero_chains(sys.run(r).record));
+
+  bool found_failure = false;
+  for (int r = 0; r < sys.num_runs() && !found_failure; ++r) {
+    for (int m = 0; m <= 2 && !found_failure; ++m) {
+      for (AgentId i = 0; i < 3 && !found_failure; ++i) {
+        const int end = chains[static_cast<std::size_t>(r)]
+                            .chain_end_time[static_cast<std::size_t>(i)];
+        if (end >= 0 && end <= m) continue;  // received a chain
+        bool witness = false;
+        for (int r2 : sys.indistinguishable_runs(i, {r, m}))
+          if (!sys.exists_init({r2, m}, Value::zero)) witness = true;
+        if (!witness) found_failure = true;  // knows ∃0 without a chain
+      }
+    }
+  }
+  EXPECT_TRUE(found_failure)
+      << "in γ_fip an agent can learn ∃0 without receiving a 0-chain";
+}
+
+}  // namespace
+}  // namespace eba

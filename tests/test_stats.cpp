@@ -1,0 +1,104 @@
+// Unit tests for the stats substrate: aggregation, histograms, the table
+// printer, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/agg.hpp"
+#include "stats/rng.hpp"
+#include "stats/table.hpp"
+
+namespace eba {
+namespace {
+
+TEST(AggregateTest, BasicStatistics) {
+  Aggregate a;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(a.percentile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.0), 1.0);
+}
+
+TEST(AggregateTest, AddAfterQueryResorts) {
+  Aggregate a;
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  a.add(9.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+}
+
+TEST(AggregateTest, EmptyThrows) {
+  Aggregate a;
+  EXPECT_THROW((void)a.mean(), std::logic_error);
+  EXPECT_THROW((void)a.percentile(0.5), std::logic_error);
+}
+
+TEST(IntHistogramTest, CountsAndMaxKey) {
+  IntHistogram h;
+  h.add(2);
+  h.add(2);
+  h.add(5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.count(99), 0u);
+  EXPECT_EQ(h.max_key(), 5);
+  EXPECT_THROW(h.add(-1), std::logic_error);
+}
+
+TEST(IntHistogramTest, EmptyMaxKeyIsMinusOne) {
+  IntHistogram h;
+  EXPECT_EQ(h.max_key(), -1);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "n"});
+  t.row("alpha", 1);
+  t.row("b", 23456);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("23456"), std::string::npos);
+  // Every line has the same position for the second column start.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.below(7);
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 7);
+  }
+  EXPECT_THROW((void)rng.below(0), std::logic_error);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace eba

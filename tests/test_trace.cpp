@@ -1,0 +1,58 @@
+// Tests for the run-trace formatter.
+#include <gtest/gtest.h>
+
+#include "failure/generators.hpp"
+#include "sim/drivers.hpp"
+#include "sim/trace.hpp"
+
+namespace eba {
+namespace {
+
+TEST(TraceTest, ContainsAgentsRoundsAndDecisions) {
+  const int n = 3;
+  const int t = 1;
+  FailurePattern alpha(n, AgentSet{0, 1});
+  alpha.drop(0, 2, 1);
+  std::vector<Value> prefs{Value::one, Value::one, Value::zero};
+  const RunSummary s = make_min_driver(n, t)(alpha, prefs);
+  const std::string out = format_run(s.record);
+
+  EXPECT_NE(out.find("round 1"), std::string::npos);
+  EXPECT_NE(out.find("decide(0)"), std::string::npos);
+  EXPECT_NE(out.find("faulty"), std::string::npos);
+  // Agent 2's round-1 decision message to agent 1 was omitted.
+  EXPECT_NE(out.find("x{1}"), std::string::npos);
+  // Decision summary column.
+  EXPECT_NE(out.find("0 @ r"), std::string::npos);
+}
+
+TEST(TraceTest, HidesDeliveriesOnRequest) {
+  const int n = 3;
+  FailurePattern alpha(n, AgentSet{0, 1});
+  alpha.drop(0, 2, 1);
+  std::vector<Value> prefs{Value::one, Value::one, Value::zero};
+  const RunSummary s = make_min_driver(n, 1)(alpha, prefs);
+  const std::string out = format_run(s.record, {.show_deliveries = false});
+  EXPECT_EQ(out.find("x{"), std::string::npos);
+}
+
+TEST(TraceTest, UndecidedAgentShowsNone) {
+  RunRecord r;
+  r.n = 2;
+  r.t = 0;
+  r.rounds = 1;
+  r.inits = {Value::one, Value::one};
+  r.nonfaulty = AgentSet{0};
+  r.actions = {{Action::decide(Value::one), Action::noop()}};
+  r.sent = {{AgentSet{1}, AgentSet{}}};
+  r.delivered = {{AgentSet{1}, AgentSet{}}};
+  const std::string out = format_run(r);
+  EXPECT_NE(out.find("none"), std::string::npos);
+}
+
+TEST(TraceTest, EmptyRecordThrows) {
+  EXPECT_THROW((void)format_run(RunRecord{}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace eba
