@@ -1,0 +1,7 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, test. Run from the repo root.
+set -eu
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j

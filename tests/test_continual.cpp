@@ -92,7 +92,9 @@ TEST_P(Theorem75, OptimalityCharacterizationHoldsForPOpt) {
 
 INSTANTIATE_TEST_SUITE_P(SmallContexts, Theorem75, ::testing::Values(3, 4),
                          [](const ::testing::TestParamInfo<int>& pinfo) {
-                           return "n" + std::to_string(pinfo.param);
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param);
+                           return name;
                          });
 
 // Sanity for the ⊡ machinery itself: reachability is an equivalence

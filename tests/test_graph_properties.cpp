@@ -160,9 +160,13 @@ INSTANTIATE_TEST_SUITE_P(RandomRuns, GraphProperties,
                                            Shape{6, 3, 3}, Shape{8, 3, 4},
                                            Shape{10, 4, 5}, Shape{12, 5, 6}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
-                           return "n" + std::to_string(pinfo.param.n) + "t" +
-                                  std::to_string(pinfo.param.t) + "s" +
-                                  std::to_string(pinfo.param.seed);
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "t";
+                           name += std::to_string(pinfo.param.t);
+                           name += "s";
+                           name += std::to_string(pinfo.param.seed);
+                           return name;
                          });
 
 }  // namespace

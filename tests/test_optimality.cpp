@@ -65,8 +65,11 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Domination,
                          ::testing::Values(Shape{4, 2}, Shape{5, 2},
                                            Shape{6, 3}, Shape{8, 4}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
-                           return "n" + std::to_string(pinfo.param.n) + "t" +
-                                  std::to_string(pinfo.param.t);
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "t";
+                           name += std::to_string(pinfo.param.t);
+                           return name;
                          });
 
 // Exhaustive domination check on the small context: P_opt never later than

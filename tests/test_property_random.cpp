@@ -93,8 +93,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Sweep{12, 5, 80, 0.35}, Sweep{16, 6, 30, 0.3},
                       Sweep{24, 4, 10, 0.5}),
     [](const ::testing::TestParamInfo<Sweep>& pinfo) {
-      return "n" + std::to_string(pinfo.param.n) + "t" +
-             std::to_string(pinfo.param.t);
+      std::string name = "n";
+      name += std::to_string(pinfo.param.n);
+      name += "t";
+      name += std::to_string(pinfo.param.t);
+      return name;
     });
 
 // Crash failures are a special case of sending omissions (paper §3): the

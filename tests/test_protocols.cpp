@@ -73,8 +73,11 @@ INSTANTIATE_TEST_SUITE_P(Shapes, FailureFree,
                                            Shape{5, 2}, Shape{5, 3}, Shape{6, 2},
                                            Shape{7, 4}, Shape{8, 3}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
-                           return "n" + std::to_string(pinfo.param.n) + "t" +
-                                  std::to_string(pinfo.param.t);
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "t";
+                           name += std::to_string(pinfo.param.t);
+                           return name;
                          });
 
 // Example 7.1: n=20, t=10, all preferences 1, agents 0..9 faulty and silent.
@@ -132,8 +135,11 @@ TEST_P(ExhaustiveSpec, AllAdversariesAllPreferences) {
 INSTANTIATE_TEST_SUITE_P(Shapes, ExhaustiveSpec,
                          ::testing::Values(Shape{3, 1}, Shape{4, 1}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
-                           return "n" + std::to_string(pinfo.param.n) + "t" +
-                                  std::to_string(pinfo.param.t);
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "t";
+                           name += std::to_string(pinfo.param.t);
+                           return name;
                          });
 
 }  // namespace
