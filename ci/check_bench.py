@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the P_opt hot-path benchmarks.
+
+Compares a freshly produced google-benchmark JSON report (bench_perf →
+BENCH_perf.json) against the committed baseline and fails if any gated
+benchmark regressed by more than the allowed factor (default 2x, per the
+ROADMAP "CI perf regression gate" item).
+
+Only hot-path benchmarks are gated, and the threshold is deliberately
+coarse (2x): the committed baseline and a CI runner are different machines,
+so the gate is meant to catch algorithmic regressions (a hot path sliding
+back toward the pre-packed implementation), not few-percent noise. Refresh
+the committed baseline (cmake --build build --target bench_all) whenever a
+PR intentionally changes these timings.
+
+Usage:
+  ci/check_bench.py --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json \
+      [--max-ratio 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks whose regression fails the gate. Names must match the
+# google-benchmark "name" field exactly.
+GATED = [
+    "BM_GraphMerge/8",
+    "BM_GraphMerge/16",
+    "BM_GraphMerge/32",
+    "BM_ConeConstruction/8",
+    "BM_ConeConstruction/16",
+    "BM_ConeConstruction/32",
+    "BM_ExtractView/8",
+    "BM_ExtractView/16",
+    "BM_ExtractView/32",
+    "BM_CommonTest/8",
+    "BM_CommonTest/16",
+    "BM_CommonTest/32",
+    "BM_FullRunPOpt/8",
+    "BM_FullRunPOpt/16",
+    "BM_FullRunPOpt/24",
+    "BM_FullRunPOpt/32",
+]
+
+
+def load_times(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = (float(bench["cpu_time"]), bench["time_unit"])
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_perf.json")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated BENCH_perf.json")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when fresh/baseline exceeds this (default 2)")
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    fresh = load_times(args.fresh)
+
+    failures = []
+    compared = 0
+    print(f"{'benchmark':<24} {'baseline':>12} {'fresh':>12} {'ratio':>8}")
+    for name in GATED:
+        if name not in baseline:
+            print(f"{name:<24} {'(no baseline — skipped)':>34}")
+            continue
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        base_t, base_u = baseline[name]
+        fresh_t, fresh_u = fresh[name]
+        if base_u != fresh_u:
+            failures.append(f"{name}: unit mismatch {base_u} vs {fresh_u}")
+            continue
+        compared += 1
+        ratio = fresh_t / base_t if base_t > 0 else float("inf")
+        flag = " <-- REGRESSION" if ratio > args.max_ratio else ""
+        print(f"{name:<24} {base_t:>10.1f}{base_u:>2} {fresh_t:>10.1f}{fresh_u:>2} "
+              f"{ratio:>7.2f}x{flag}")
+        if ratio > args.max_ratio:
+            failures.append(
+                f"{name}: {fresh_t:.1f}{fresh_u} vs baseline {base_t:.1f}{base_u} "
+                f"({ratio:.2f}x > {args.max_ratio}x)")
+
+    # Fail closed: if nothing was comparable (renamed benchmarks, stale or
+    # truncated baseline, bench_perf skipped at configure time), a green
+    # result would be meaningless.
+    if compared == 0:
+        failures.append("no gated benchmark was present in both reports")
+
+    if failures:
+        print("\nPerf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nPerf gate passed ({compared} benchmarks compared).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

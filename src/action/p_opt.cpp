@@ -1,71 +1,50 @@
 #include "action/p_opt.hpp"
 
-#include <algorithm>
-
 #include "graph/knowledge.hpp"
 
 namespace eba {
-namespace {
 
-/// d(j, m, G): an inferred-action lookup gated by reachability in the graph
-/// under evaluation. (j, m) outside the cone of (owner, time) yields
-/// `unknown` even if the shared table knows the true action.
-class DOracle {
- public:
-  DOracle(const Cone& cone, const ActionTable& known)
-      : cone_(cone), known_(known) {}
-
-  [[nodiscard]] KnownAction d(AgentId j, int m) const {
-    return cone_.contains(j, m) ? known_.get(j, m) : KnownAction::unknown;
-  }
-
-  /// True iff j is not known to have decided by the last time it was heard
-  /// from (so j could still occupy a later position on a hidden 0-chain).
-  [[nodiscard]] bool undecided_when_last_heard(AgentId j) const {
-    const int last = cone_.last_heard(j);
-    for (int m = 0; m <= last; ++m)
-      if (is_decide(d(j, m))) return false;
-    return true;
-  }
-
-  [[nodiscard]] const Cone& cone() const { return cone_; }
-
- private:
-  const Cone& cone_;
-  const ActionTable& known_;
-};
-
-}  // namespace
+// The paper's d(j, m, G) oracle — an inferred-action lookup gated by
+// reachability in the graph under evaluation — is realized below as whole
+// mask intersections: cone.at(m) ∩ ActionTable decider masks enumerate every
+// (j, m) with a reachable, known decision in one word op per round.
 
 bool POpt::common_test(const CommGraph& g, AgentId self, Value v, int t,
                        const ActionTable& known) {
+  KnowledgeCache cache;
+  return common_test(g, self, v, t, known, cache);
+}
+
+bool POpt::common_test(const CommGraph& g, AgentId self, Value v, int t,
+                       const ActionTable& known, KnowledgeCache& cache) {
   const int m = g.time();
   if (m < 1) return false;
 
-  const auto f = known_faults_table(g);
   const AgentSet f_self =
-      f[static_cast<std::size_t>(m)][static_cast<std::size_t>(self)];
+      cache.fault_row(g, m)[static_cast<std::size_t>(self)];
   const AgentSet candidates = f_self.complement(g.n());
 
   // (a) The possibly-nonfaulty agents must have had distributed knowledge of
   // exactly t faulty agents at time m-1 (Lemma A.20: equivalent to
   // C_N(t-faulty) holding now).
+  const auto f_prev = cache.fault_row(g, m - 1);
   AgentSet dist;
   for (AgentId j : candidates)
-    dist = dist.united(
-        f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(j)]);
+    dist = dist.united(f_prev[static_cast<std::size_t>(j)]);
   if (dist.size() != t) return false;
 
   // (b) No possibly-nonfaulty agent may be known to have decided 1-v
-  // (otherwise no-decided_N(1-v) cannot be common knowledge).
-  const Cone cone(g, self, m);
-  const DOracle oracle(cone, known);
+  // (otherwise no-decided_N(1-v) cannot be common knowledge). d(j, m2) is
+  // gated by cone membership, so one cone-level ∩ decider-mask ∩ candidates
+  // intersection per round covers every (j, m2) probe of the old triple loop.
+  const Cone& cone = cache.cone(g, self, m);
   const Value other = opposite(v);
-  const KnownAction bad =
-      other == Value::zero ? KnownAction::decide0 : KnownAction::decide1;
-  for (AgentId j : candidates)
-    for (int m2 = 0; m2 < m; ++m2)
-      if (oracle.d(j, m2) == bad) return false;
+  for (int m2 = 0; m2 < m; ++m2) {
+    const AgentSet bad = other == Value::zero ? known.deciders0(m2)
+                                              : known.deciders1(m2);
+    if (!candidates.intersected(cone.at(m2)).intersected(bad).empty())
+      return false;
+  }
 
   // (c) Some agent believed nonfaulty at time m-1 must have known ∃v then
   // (Prop A.2(c): C_N(t-faulty ∧ ∃v) ⇔ C_N(t-faulty) ∧ ⊖(∨_{j∈N} K_j ∃v)).
@@ -80,75 +59,97 @@ bool POpt::cond0_test(const CommGraph& g, AgentId self, Value init,
                       const ActionTable& known) {
   const int m = g.time();
   if (m == 0) return init == Value::zero;
-  for (AgentId j = 0; j < g.n(); ++j) {
+  // Only senders whose round-m message reached `self` can have shown it a
+  // fresh 0-decision; the packed receiver row enumerates exactly those.
+  for (AgentId j : g.present_senders(m - 1, self)) {
     if (j == self) continue;
-    if (known.get(j, m - 1) == KnownAction::decide0 &&
-        g.label(m - 1, j, self) == Label::present)
-      return true;
+    if (known.get(j, m - 1) == KnownAction::decide0) return true;
   }
   return false;
 }
 
 bool POpt::cond1_test(const CommGraph& g, AgentId self,
                       const ActionTable& known) {
+  KnowledgeCache cache;
+  return cond1_test(g, self, known, cache);
+}
+
+bool POpt::cond1_test(const CommGraph& g, AgentId self,
+                      const ActionTable& known, KnowledgeCache& cache) {
   const int m = g.time();
   if (m == 0) return false;
 
-  const Cone cone(g, self, m);
-  const DOracle oracle(cone, known);
+  const Cone& cone = cache.cone(g, self, m);
 
   // len: the longest 0-chain position the agent knows about (-1 if none).
+  // d(j, m2) = decide0 iff j is both in the cone level and the decide0 mask.
   int len = -1;
   for (int m2 = 0; m2 < m; ++m2)
-    for (AgentId j = 0; j < g.n(); ++j)
-      if (oracle.d(j, m2) == KnownAction::decide0) len = std::max(len, m2);
+    if (!cone.at(m2).intersected(known.deciders0(m2)).empty()) len = m2;
+
+  // Agents known (at some cone node) to have decided. j ∈ cone.at(m2)
+  // implies m2 <= last_heard(j), so this union is exactly the complement of
+  // the old per-agent undecided_when_last_heard scan.
+  AgentSet known_decided;
+  for (int m2 = 0; m2 <= m; ++m2)
+    known_decided =
+        known_decided.united(cone.at(m2).intersected(known.deciders(m2)));
+
+  // Bucket the potential extenders by last_heard: buckets[k] counts the
+  // undecided agents with last_heard = k - 1, so the number of extenders at
+  // chain position m2 (agents last heard before m2 and not known decided) is
+  // the prefix sum up to bucket m2.
+  std::vector<int> buckets(static_cast<std::size_t>(m) + 2, 0);
+  for (AgentId j : known_decided.complement(g.n()))
+    ++buckets[static_cast<std::size_t>(cone.last_heard(j)) + 1];
 
   // Prop A.7 (contrapositive): the agent knows no one can be deciding 0 iff
   // for some chain position m2 in (len, m] there are fewer potential
-  // extenders (agents last heard from before m2 and not known decided) than
-  // the hidden chain would need. Because the extender sets are nested in m2,
-  // this is exactly Hall's condition for the hidden chain.
-  for (int m2 = len + 1; m2 <= m; ++m2) {
-    int extenders = 0;
-    for (AgentId j = 0; j < g.n(); ++j) {
-      if (cone.last_heard(j) < m2 && oracle.undecided_when_last_heard(j))
-        ++extenders;
-    }
-    if (extenders < m2 - len) return true;
+  // extenders than the hidden chain would need. Because the extender sets
+  // are nested in m2, this is exactly Hall's condition for the hidden chain.
+  int extenders = 0;
+  for (int m2 = 0; m2 <= m; ++m2) {
+    extenders += buckets[static_cast<std::size_t>(m2)];
+    if (m2 > len && extenders < m2 - len) return true;
   }
   return false;
 }
 
 Action POpt::decide_rule(const CommGraph& g, AgentId self, Value init,
                          bool decided, int t, const ActionTable& known,
-                         bool use_common) {
+                         bool use_common, KnowledgeCache& cache) {
   if (decided) return Action::noop();
   if (use_common) {
-    if (common_test(g, self, Value::zero, t, known))
+    if (common_test(g, self, Value::zero, t, known, cache))
       return Action::decide(Value::zero);
-    if (common_test(g, self, Value::one, t, known))
+    if (common_test(g, self, Value::one, t, known, cache))
       return Action::decide(Value::one);
   }
   if (cond0_test(g, self, init, known)) return Action::decide(Value::zero);
-  if (cond1_test(g, self, known)) return Action::decide(Value::one);
+  if (cond1_test(g, self, known, cache)) return Action::decide(Value::one);
   return Action::noop();
 }
 
 void POpt::infer_actions(const FipState& s) const {
   s.inferred.ensure(n_, s.time);
-  const Cone cone(s.graph, s.self, s.time);
+  const Cone& cone = s.knowledge.cone(s.graph, s.self, s.time);
   for (int m = 0; m <= s.time; ++m) {
     for (AgentId j : cone.at(m)) {
       if (j == s.self && m == s.time) continue;  // the action being computed
       if (s.inferred.get(j, m) != KnownAction::unknown) continue;
+      // Plain extract_view: each (j, m) node is extracted exactly once over
+      // the state's lifetime, so memoizing its cone would be pure overhead.
       const CommGraph view = extract_view(s.graph, j, m);
       EBA_REQUIRE(view.pref(j) != PrefLabel::unknown,
                   "reachable node with unknown own preference");
       const Value init_j =
           view.pref(j) == PrefLabel::zero ? Value::zero : Value::one;
       const bool decided_before = s.inferred.decided_by(j, m - 1);
+      // The view is consulted up to three times (two common tests + cond_1);
+      // a view-local cache shares its cone and fault table across them.
+      KnowledgeCache view_cache;
       const Action a = decide_rule(view, j, init_j, decided_before, t_,
-                                   s.inferred, use_common_);
+                                   s.inferred, use_common_, view_cache);
       s.inferred.set(j, m, to_known(a));
     }
   }
@@ -158,7 +159,7 @@ Action POpt::operator()(const FipState& s) const {
   EBA_REQUIRE(s.graph.n() == n_, "state from a different system");
   infer_actions(s);
   return decide_rule(s.graph, s.self, s.init, s.decided.has_value(), t_,
-                     s.inferred, use_common_);
+                     s.inferred, use_common_, s.knowledge);
 }
 
 }  // namespace eba

@@ -21,6 +21,7 @@
 #include "exchange/fip.hpp"
 #include "graph/action_table.hpp"
 #include "graph/comm_graph.hpp"
+#include "graph/knowledge.hpp"
 
 namespace eba {
 
@@ -47,9 +48,15 @@ class POpt {
   // reachability in `g` internally.
 
   /// common_v: K_i(C_N(t-faulty ∧ no-decided_N(1-v) ∧ ∃v)) at time g.time().
+  /// The cache-less overload builds a throwaway KnowledgeCache; the cached
+  /// overload reuses `cache`, which must belong to `g` (see KnowledgeCache).
   [[nodiscard]] static bool common_test(const CommGraph& g, AgentId self,
                                         Value v, int t,
                                         const ActionTable& known);
+  [[nodiscard]] static bool common_test(const CommGraph& g, AgentId self,
+                                        Value v, int t,
+                                        const ActionTable& known,
+                                        KnowledgeCache& cache);
 
   /// cond_0: init=0 at time 0, or a delivered message from an agent that
   /// just decided 0.
@@ -60,6 +67,9 @@ class POpt {
   /// 0-chain can reach the present round.
   [[nodiscard]] static bool cond1_test(const CommGraph& g, AgentId self,
                                        const ActionTable& known);
+  [[nodiscard]] static bool cond1_test(const CommGraph& g, AgentId self,
+                                       const ActionTable& known,
+                                       KnowledgeCache& cache);
 
   /// Fills s.inferred with d(j, m) for every node in the hears-from cone of
   /// (s.self, s.time). Exposed for tests; operator() calls it.
@@ -71,7 +81,8 @@ class POpt {
   [[nodiscard]] static Action decide_rule(const CommGraph& g, AgentId self,
                                           Value init, bool decided, int t,
                                           const ActionTable& known,
-                                          bool use_common);
+                                          bool use_common,
+                                          KnowledgeCache& cache);
 
   int n_;
   int t_;

@@ -17,6 +17,7 @@
 #include "core/types.hpp"
 #include "graph/action_table.hpp"
 #include "graph/comm_graph.hpp"
+#include "graph/knowledge.hpp"
 
 namespace eba {
 
@@ -32,6 +33,11 @@ struct FipState {
   /// equality). Mutable so the action protocol, a pure function of the
   /// state, can memoize.
   mutable ActionTable inferred;
+  /// Memoized cones and fault table of `graph`, keyed on graph.revision():
+  /// FipExchange::update mutates the graph (advance_round + merges), which
+  /// bumps the revision and lazily invalidates this. Excluded from equality;
+  /// mutable for the same reason as `inferred`.
+  mutable KnowledgeCache knowledge;
 
   friend bool operator==(const FipState& a, const FipState& b) {
     return a.time == b.time && a.self == b.self && a.init == b.init &&
@@ -65,7 +71,8 @@ class FipExchange {
                  .init = init,
                  .graph = CommGraph(n_, i, init),
                  .decided = {},
-                 .inferred = {}};
+                 .inferred = {},
+                 .knowledge = {}};
   }
 
   /// µ: broadcast the full graph every round. The EBA-context constraint on

@@ -29,27 +29,55 @@ enum class KnownAction : std::uint8_t { unknown = 0, noop, decide0, decide1 };
 
 class ActionTable {
  public:
-  /// Grows the table to cover agents 0..n-1 and times 0..time.
+  /// Grows the table to cover agents 0..n-1 and times 0..time. The agent
+  /// count is fixed by the first call; storage is time-major (one n-entry
+  /// slab per time) so growth appends slabs without relayout and a state
+  /// snapshot copies one flat vector instead of n nested ones.
   void ensure(int n, int time) {
-    rows_.resize(static_cast<std::size_t>(n));
-    for (auto& row : rows_)
-      if (static_cast<int>(row.size()) <= time)
-        row.resize(static_cast<std::size_t>(time) + 1, KnownAction::unknown);
+    EBA_REQUIRE(n_ == 0 || n_ == n, "action table agent count changed");
+    n_ = n;
+    if (static_cast<int>(decide0_.size()) <= time) {
+      entries_.resize((static_cast<std::size_t>(time) + 1) *
+                          static_cast<std::size_t>(n),
+                      KnownAction::unknown);
+      decide0_.resize(static_cast<std::size_t>(time) + 1);
+      decide1_.resize(static_cast<std::size_t>(time) + 1);
+    }
   }
 
   [[nodiscard]] KnownAction get(AgentId j, int m) const {
-    if (j < 0 || static_cast<std::size_t>(j) >= rows_.size() || m < 0 ||
-        static_cast<std::size_t>(m) >= rows_[static_cast<std::size_t>(j)].size())
+    if (j < 0 || j >= n_ || m < 0 ||
+        static_cast<std::size_t>(m) >= decide0_.size())
       return KnownAction::unknown;
-    return rows_[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)];
+    return entries_[index(j, m)];
   }
 
   void set(AgentId j, int m, KnownAction a) {
-    EBA_REQUIRE(j >= 0 && static_cast<std::size_t>(j) < rows_.size() && m >= 0,
+    EBA_REQUIRE(j >= 0 && j < n_ && m >= 0 &&
+                    static_cast<std::size_t>(m) < decide0_.size(),
                 "action table index out of range");
-    EBA_REQUIRE(static_cast<std::size_t>(m) < rows_[static_cast<std::size_t>(j)].size(),
-                "action table time out of range");
-    rows_[static_cast<std::size_t>(j)][static_cast<std::size_t>(m)] = a;
+    entries_[index(j, m)] = a;
+    decide0_[static_cast<std::size_t>(m)].erase(j);
+    decide1_[static_cast<std::size_t>(m)].erase(j);
+    if (a == KnownAction::decide0) decide0_[static_cast<std::size_t>(m)].insert(j);
+    if (a == KnownAction::decide1) decide1_[static_cast<std::size_t>(m)].insert(j);
+  }
+
+  /// Agents with an inferred decide(0) / decide(1) entry at time m, as a
+  /// mask — lets the P_opt tests intersect whole rounds against cone levels
+  /// instead of probing (j, m) pairs one by one. Out-of-range m is empty.
+  [[nodiscard]] AgentSet deciders0(int m) const {
+    return m >= 0 && static_cast<std::size_t>(m) < decide0_.size()
+               ? decide0_[static_cast<std::size_t>(m)]
+               : AgentSet{};
+  }
+  [[nodiscard]] AgentSet deciders1(int m) const {
+    return m >= 0 && static_cast<std::size_t>(m) < decide1_.size()
+               ? decide1_[static_cast<std::size_t>(m)]
+               : AgentSet{};
+  }
+  [[nodiscard]] AgentSet deciders(int m) const {
+    return deciders0(m).united(deciders1(m));
   }
 
   /// True iff j is known to have performed a decision in some round <= m+1
@@ -61,7 +89,15 @@ class ActionTable {
   }
 
  private:
-  std::vector<std::vector<KnownAction>> rows_;
+  [[nodiscard]] std::size_t index(AgentId j, int m) const {
+    return static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+
+  int n_ = 0;
+  std::vector<KnownAction> entries_;  ///< (time+1) * n, time-major
+  std::vector<AgentSet> decide0_;     ///< by time: mask of decide0 entries
+  std::vector<AgentSet> decide1_;     ///< by time: mask of decide1 entries
 };
 
 }  // namespace eba

@@ -1,77 +1,83 @@
 #include "graph/comm_graph.hpp"
 
 namespace eba {
+namespace {
 
-CommGraph::CommGraph(int n, AgentId self, Value own_init)
-    : n_(n), time_(0), prefs_(static_cast<std::size_t>(n), PrefLabel::unknown) {
+/// splitmix64 finalizer: one multiply-xorshift round per 64-bit word, a far
+/// better mixer per cycle than the old byte-at-a-time FNV walk over labels.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+CommGraph::CommGraph(int n, AgentId self, Value own_init) : n_(n), time_(0) {
   EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
   EBA_REQUIRE(self >= 0 && self < n, "agent id out of range");
-  prefs_[static_cast<std::size_t>(self)] = pref_of(own_init);
+  set_pref(self, pref_of(own_init));
 }
 
 CommGraph CommGraph::blank(int n, int time) {
   CommGraph g(n, 0, Value::zero);
-  g.prefs_.assign(static_cast<std::size_t>(n), PrefLabel::unknown);
+  g.pref_known_ = 0;
+  g.pref_value_ = 0;
   g.time_ = time;
-  g.labels_.assign(static_cast<std::size_t>(time) * static_cast<std::size_t>(n) *
-                       static_cast<std::size_t>(n),
-                   Label::unknown);
+  g.known_.assign(static_cast<std::size_t>(time) * static_cast<std::size_t>(n), 0);
+  g.value_.assign(static_cast<std::size_t>(time) * static_cast<std::size_t>(n), 0);
   return g;
-}
-
-std::size_t CommGraph::index(int m, AgentId from, AgentId to) const {
-  EBA_REQUIRE(m >= 0 && m < time_, "round out of range");
-  EBA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_, "agent out of range");
-  return (static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
-          static_cast<std::size_t>(from)) *
-             static_cast<std::size_t>(n_) +
-         static_cast<std::size_t>(to);
 }
 
 void CommGraph::advance_round(AgentId self, AgentSet received_from) {
   EBA_REQUIRE(self >= 0 && self < n_, "agent id out of range");
   const int m = time_;
   time_ += 1;
-  labels_.resize(static_cast<std::size_t>(time_) * static_cast<std::size_t>(n_) *
-                     static_cast<std::size_t>(n_),
-                 Label::unknown);
-  for (AgentId from = 0; from < n_; ++from) {
-    const bool got = from == self || received_from.contains(from);
-    set_label(m, from, self, got ? Label::present : Label::absent);
-  }
+  const std::size_t words =
+      static_cast<std::size_t>(time_) * static_cast<std::size_t>(n_);
+  known_.resize(words, 0);
+  value_.resize(words, 0);
+  // Every incoming edge of `self` becomes definite in one row write:
+  // delivered senders (plus the implicit self-loop) present, the rest absent.
+  const std::size_t r = row(m, self);
+  known_[r] = AgentSet::all(n_).bits();
+  value_[r] = (received_from.bits() | (std::uint64_t{1} << self)) &
+              AgentSet::all(n_).bits();
+  ++revision_;
 }
 
 void CommGraph::merge(const CommGraph& other) {
   EBA_REQUIRE(other.n_ == n_, "merging graphs of different systems");
   EBA_REQUIRE(other.time_ <= time_, "merging a graph from the future");
-  for (int m = 0; m < other.time_; ++m) {
-    for (AgentId from = 0; from < n_; ++from) {
-      for (AgentId to = 0; to < n_; ++to) {
-        const Label theirs = other.label(m, from, to);
-        if (theirs == Label::unknown) continue;
-        const Label mine = label(m, from, to);
-        EBA_REQUIRE(mine == Label::unknown || mine == theirs,
-                    "inconsistent delivery observations");
-        set_label(m, from, to, theirs);
-      }
-    }
+  // Rows are round-major with identical n, so the other graph's words align
+  // with the prefix of ours. Per word: a conflict is a sender bit both sides
+  // know with different values; absent that, the union is two ORs.
+  const std::size_t words =
+      static_cast<std::size_t>(other.time_) * static_cast<std::size_t>(n_);
+  for (std::size_t i = 0; i < words; ++i) {
+    EBA_REQUIRE(
+        (known_[i] & other.known_[i] & (value_[i] ^ other.value_[i])) == 0,
+        "inconsistent delivery observations");
+    known_[i] |= other.known_[i];
+    value_[i] |= other.value_[i];
   }
-  for (AgentId j = 0; j < n_; ++j) {
-    const PrefLabel theirs = other.pref(j);
-    if (theirs == PrefLabel::unknown) continue;
-    const PrefLabel mine = pref(j);
-    EBA_REQUIRE(mine == PrefLabel::unknown || mine == theirs,
-                "inconsistent preference observations");
-    set_pref(j, theirs);
-  }
+  EBA_REQUIRE((pref_known_ & other.pref_known_ &
+               (pref_value_ ^ other.pref_value_)) == 0,
+              "inconsistent preference observations");
+  pref_known_ |= other.pref_known_;
+  pref_value_ |= other.pref_value_;
+  ++revision_;
 }
 
 std::size_t CommGraph::hash() const {
-  std::size_t h = static_cast<std::size_t>(n_) * 1315423911u +
-                  static_cast<std::size_t>(time_);
-  for (Label l : labels_) h = h * 1099511628211ull + static_cast<std::size_t>(l);
-  for (PrefLabel p : prefs_) h = h * 1099511628211ull + static_cast<std::size_t>(p);
-  return h;
+  std::uint64_t h = mix64((static_cast<std::uint64_t>(n_) << 32) |
+                          static_cast<std::uint64_t>(time_));
+  for (std::uint64_t w : known_) h = mix64(h ^ w);
+  for (std::uint64_t w : value_) h = mix64(h ^ w);
+  h = mix64(h ^ pref_known_);
+  h = mix64(h ^ pref_value_);
+  return static_cast<std::size_t>(h);
 }
 
 }  // namespace eba

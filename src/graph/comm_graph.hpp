@@ -10,6 +10,20 @@
 // not learn whether its own messages were omitted, so an agent's outgoing
 // edges stay `?` until some receiver's report is relayed back. Incoming
 // edges are always 0/1 (a synchronous receiver detects absence).
+//
+// Storage is bit-packed in two planes, round-major with one n-bit row per
+// (round, receiver):
+//
+//   known[m][to] — bit `from` set iff the label of (from, m) -> (to, m+1)
+//                  is definite (0 or 1),
+//   value[m][to] — bit `from` set iff that label is 1 (present).
+//
+// Since kMaxAgents == 64, each row is exactly one uint64_t word, so a
+// receiver row doubles as an AgentSet mask: merge is a handful of word ops
+// per row, and the knowledge operators (cone frontiers, fault rows) consume
+// whole rows instead of individual labels. The representation is canonical —
+// value bits are only ever set under known bits — so default word-wise
+// equality and the word-mixing hash agree with label-level equality.
 #pragma once
 
 #include <cstdint>
@@ -42,18 +56,69 @@ class CommGraph {
   /// Label of the edge (from, m) -> (to, m+1), i.e. the round-(m+1) message.
   /// Precondition: 0 <= m < time().
   [[nodiscard]] Label label(int m, AgentId from, AgentId to) const {
-    return labels_[index(m, from, to)];
+    const std::uint64_t bit = sender_bit(from);
+    const std::size_t r = row(m, to);
+    if (!(known_[r] & bit)) return Label::unknown;
+    return (value_[r] & bit) ? Label::present : Label::absent;
   }
   void set_label(int m, AgentId from, AgentId to, Label l) {
-    labels_[index(m, from, to)] = l;
+    const std::uint64_t bit = sender_bit(from);
+    const std::size_t r = row(m, to);
+    known_[r] &= ~bit;
+    value_[r] &= ~bit;
+    if (l != Label::unknown) {
+      known_[r] |= bit;
+      if (l == Label::present) value_[r] |= bit;
+    }
+    ++revision_;
   }
 
   [[nodiscard]] PrefLabel pref(AgentId j) const {
-    return prefs_[static_cast<std::size_t>(j)];
+    const std::uint64_t bit = sender_bit(j);
+    if (!(pref_known_ & bit)) return PrefLabel::unknown;
+    return (pref_value_ & bit) ? PrefLabel::one : PrefLabel::zero;
   }
   void set_pref(AgentId j, PrefLabel p) {
-    prefs_[static_cast<std::size_t>(j)] = p;
+    const std::uint64_t bit = sender_bit(j);
+    pref_known_ &= ~bit;
+    pref_value_ &= ~bit;
+    if (p != PrefLabel::unknown) {
+      pref_known_ |= bit;
+      if (p == PrefLabel::one) pref_value_ |= bit;
+    }
+    ++revision_;
   }
+
+  // Whole-row accessors: the packed planes as AgentSet masks. These are what
+  // the knowledge operators consume; `to`-rows make a cone frontier step one
+  // OR per member and a fault-row update one OR per definite-absent row.
+
+  /// Senders whose round-(m+1) message to `to` has a definite label.
+  [[nodiscard]] AgentSet known_senders(int m, AgentId to) const {
+    return AgentSet(known_[row(m, to)]);
+  }
+  /// Senders whose round-(m+1) message to `to` is known delivered.
+  [[nodiscard]] AgentSet present_senders(int m, AgentId to) const {
+    return AgentSet(value_[row(m, to)]);
+  }
+  /// Senders whose round-(m+1) message to `to` is known omitted.
+  [[nodiscard]] AgentSet absent_senders(int m, AgentId to) const {
+    const std::size_t r = row(m, to);
+    return AgentSet(known_[r] & ~value_[r]);
+  }
+  /// Overwrites one receiver row. Preconditions: present ⊆ known ⊆ {0..n-1}.
+  void set_row(int m, AgentId to, AgentSet known, AgentSet present) {
+    EBA_REQUIRE(known.subset_of(AgentSet::all(n_)) && present.subset_of(known),
+                "malformed receiver row");
+    const std::size_t r = row(m, to);
+    known_[r] = known.bits();
+    value_[r] = present.bits();
+    ++revision_;
+  }
+
+  /// Agents whose initial preference is known / known to be 1.
+  [[nodiscard]] AgentSet known_prefs() const { return AgentSet(pref_known_); }
+  [[nodiscard]] AgentSet one_prefs() const { return AgentSet(pref_value_); }
 
   /// Extends the graph by one round: `self` observed exactly the messages
   /// from `received_from` (self-delivery is implicit). All other new edges
@@ -68,23 +133,48 @@ class CommGraph {
   /// Uninformative graph of the given shape, used by view extraction.
   static CommGraph blank(int n, int time);
 
-  friend bool operator==(const CommGraph&, const CommGraph&) = default;
+  /// Mutation counter: bumped by every set_label/set_pref/set_row/
+  /// advance_round/merge. KnowledgeCache keys its memoized cones and fault
+  /// tables on (graph address, revision), so derived knowledge is recomputed
+  /// only when the graph actually changed.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+
+  friend bool operator==(const CommGraph& a, const CommGraph& b) {
+    return a.n_ == b.n_ && a.time_ == b.time_ &&
+           a.pref_known_ == b.pref_known_ && a.pref_value_ == b.pref_value_ &&
+           a.known_ == b.known_ && a.value_ == b.value_;
+  }
 
   [[nodiscard]] std::size_t hash() const;
 
   /// Serialized size in bits: two bits per edge label plus two per
-  /// preference label (used for Prop 8.1 accounting).
+  /// preference label (used for Prop 8.1 accounting). Independent of the
+  /// packed in-memory layout.
   [[nodiscard]] std::size_t bit_size() const {
-    return 2 * labels_.size() + 2 * prefs_.size();
+    return 2 * static_cast<std::size_t>(time_) * static_cast<std::size_t>(n_) *
+               static_cast<std::size_t>(n_) +
+           2 * static_cast<std::size_t>(n_);
   }
 
  private:
-  [[nodiscard]] std::size_t index(int m, AgentId from, AgentId to) const;
+  [[nodiscard]] std::size_t row(int m, AgentId to) const {
+    EBA_REQUIRE(m >= 0 && m < time_, "round out of range");
+    EBA_REQUIRE(to >= 0 && to < n_, "agent out of range");
+    return static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+  [[nodiscard]] std::uint64_t sender_bit(AgentId from) const {
+    EBA_REQUIRE(from >= 0 && from < n_, "agent out of range");
+    return std::uint64_t{1} << from;
+  }
 
   int n_;
   int time_;
-  std::vector<Label> labels_;     ///< time * n * n, round-major
-  std::vector<PrefLabel> prefs_;  ///< n
+  std::uint64_t pref_known_ = 0;  ///< bit j: pref of j is definite
+  std::uint64_t pref_value_ = 0;  ///< bit j: pref of j is 1 (under known)
+  std::uint64_t revision_ = 0;    ///< excluded from equality and hashing
+  std::vector<std::uint64_t> known_;  ///< time * n rows, round-major by receiver
+  std::vector<std::uint64_t> value_;  ///< same shape; value ⊆ known per row
 };
 
 }  // namespace eba

@@ -1,98 +1,158 @@
 #include "graph/knowledge.hpp"
 
 namespace eba {
+namespace {
 
-Cone::Cone(const CommGraph& g, AgentId target, int m_top) : m_top_(m_top) {
+/// Fault-table rows 0..up_to (inclusive), flat row-major with stride n —
+/// the single implementation of the f recurrence, shared by the free query
+/// functions and KnowledgeCache. Row m is derived from row m-1 with
+/// whole-row masks: the definite-absent senders of (m-1, j) join f(j, m) as
+/// one OR, and each definite-present sender contributes its previous row.
+std::vector<AgentSet> fault_rows_flat(const CommGraph& g, int up_to) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  std::vector<AgentSet> f((static_cast<std::size_t>(up_to) + 1) * n);
+  for (int m = 1; m <= up_to; ++m) {
+    const AgentSet* prev = f.data() + (static_cast<std::size_t>(m) - 1) * n;
+    AgentSet* cur = f.data() + static_cast<std::size_t>(m) * n;
+    for (AgentId j = 0; j < g.n(); ++j) {
+      AgentSet acc = prev[j].united(g.absent_senders(m - 1, j));
+      for (AgentId from : g.present_senders(m - 1, j))
+        acc = acc.united(prev[from]);
+      cur[j] = acc;
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+Cone::Cone(const CommGraph& g, AgentId target, int m_top)
+    : m_top_(m_top), last_heard_(static_cast<std::size_t>(g.n()), -1) {
   EBA_REQUIRE(m_top >= 0 && m_top <= g.time(), "cone top out of range");
   EBA_REQUIRE(target >= 0 && target < g.n(), "agent id out of range");
   members_.assign(static_cast<std::size_t>(m_top) + 1, AgentSet{});
   members_[static_cast<std::size_t>(m_top)].insert(target);
   for (int m = m_top; m > 0; --m) {
-    for (AgentId to : members_[static_cast<std::size_t>(m)]) {
-      for (AgentId from = 0; from < g.n(); ++from) {
-        if (g.label(m - 1, from, to) == Label::present)
-          members_[static_cast<std::size_t>(m - 1)].insert(from);
-      }
-    }
+    AgentSet frontier;
+    for (AgentId to : members_[static_cast<std::size_t>(m)])
+      frontier = frontier.united(g.present_senders(m - 1, to));
+    members_[static_cast<std::size_t>(m - 1)] = frontier;
+  }
+  AgentSet unseen = AgentSet::all(g.n());
+  for (int m = m_top; m >= 0 && !unseen.empty(); --m) {
+    for (AgentId j : members_[static_cast<std::size_t>(m)].intersected(unseen))
+      last_heard_[static_cast<std::size_t>(j)] = m;
+    unseen = unseen.minus(members_[static_cast<std::size_t>(m)]);
   }
 }
 
-int Cone::last_heard(AgentId j) const {
-  for (int m = m_top_; m >= 0; --m)
-    if (members_[static_cast<std::size_t>(m)].contains(j)) return m;
-  return -1;
+void KnowledgeCache::sync(const CommGraph& g) {
+  if (graph_ == &g && revision_ == g.revision()) return;
+  graph_ = &g;
+  revision_ = g.revision();
+  have_faults_ = false;
+  faults_.clear();
+  cones_.clear();
 }
 
-CommGraph extract_view(const CommGraph& g, AgentId j, int m) {
-  const Cone cone(g, j, m);
+std::span<const AgentSet> KnowledgeCache::fault_row(const CommGraph& g, int m) {
+  sync(g);
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  if (!have_faults_) {
+    faults_ = fault_rows_flat(g, g.time());
+    have_faults_ = true;
+  }
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
+  return {faults_.data() + static_cast<std::size_t>(m) * n, n};
+}
+
+const Cone& KnowledgeCache::cone(const CommGraph& g, AgentId target, int m_top) {
+  sync(g);
+  const std::uint64_t key = (static_cast<std::uint64_t>(target) << 32) |
+                            static_cast<std::uint32_t>(m_top);
+  auto it = cones_.find(key);
+  if (it == cones_.end())
+    it = cones_.try_emplace(key, g, target, m_top).first;
+  return it->second;
+}
+
+namespace {
+
+CommGraph extract_view_from_cone(const CommGraph& g, const Cone& cone, int m) {
   CommGraph view = CommGraph::blank(g.n(), m);
+  const AgentSet full = AgentSet::all(g.n());
   for (int m2 = 1; m2 <= m; ++m2) {
     for (AgentId to : cone.at(m2)) {
-      for (AgentId from = 0; from < g.n(); ++from) {
-        const Label l = g.label(m2 - 1, from, to);
-        EBA_REQUIRE(l != Label::unknown,
-                    "extract_view target is not in the owner's cone");
-        view.set_label(m2 - 1, from, to, l);
-      }
+      const AgentSet known = g.known_senders(m2 - 1, to);
+      EBA_REQUIRE(known == full,
+                  "extract_view target is not in the owner's cone");
+      view.set_row(m2 - 1, to, known, g.present_senders(m2 - 1, to));
     }
   }
   for (AgentId k : cone.at(0)) view.set_pref(k, g.pref(k));
   return view;
 }
 
+}  // namespace
+
+CommGraph extract_view(const CommGraph& g, AgentId j, int m) {
+  return extract_view_from_cone(g, Cone(g, j, m), m);
+}
+
+CommGraph extract_view(const CommGraph& g, AgentId j, int m,
+                       KnowledgeCache& cache) {
+  return extract_view_from_cone(g, cache.cone(g, j, m), m);
+}
+
 AgentSet known_faults(const CommGraph& g, AgentId j, int m) {
   EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
-  return known_faults_table(g)[static_cast<std::size_t>(m)]
-                              [static_cast<std::size_t>(j)];
+  EBA_REQUIRE(j >= 0 && j < g.n(), "agent id out of range");
+  const auto rows = fault_rows_flat(g, m);
+  return rows[static_cast<std::size_t>(m) * static_cast<std::size_t>(g.n()) +
+              static_cast<std::size_t>(j)];
 }
 
 std::vector<std::vector<AgentSet>> known_faults_table(const CommGraph& g) {
-  std::vector<std::vector<AgentSet>> f(
-      static_cast<std::size_t>(g.time()) + 1,
-      std::vector<AgentSet>(static_cast<std::size_t>(g.n())));
-  for (int m = 1; m <= g.time(); ++m) {
-    for (AgentId j = 0; j < g.n(); ++j) {
-      AgentSet acc = f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(j)];
-      for (AgentId from = 0; from < g.n(); ++from) {
-        switch (g.label(m - 1, from, j)) {
-          case Label::absent:
-            acc.insert(from);
-            break;
-          case Label::present:
-            acc = acc.united(
-                f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(from)]);
-            break;
-          case Label::unknown:
-            break;
-        }
-      }
-      f[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)] = acc;
-    }
-  }
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  const auto flat = fault_rows_flat(g, g.time());
+  std::vector<std::vector<AgentSet>> f(static_cast<std::size_t>(g.time()) + 1);
+  for (std::size_t m = 0; m < f.size(); ++m)
+    f[m].assign(flat.begin() + static_cast<std::ptrdiff_t>(m * n),
+                flat.begin() + static_cast<std::ptrdiff_t>((m + 1) * n));
   return f;
 }
 
 AgentSet distributed_faults(const CommGraph& g, AgentSet s, int m) {
-  const auto table = known_faults_table(g);
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
+  const auto rows = fault_rows_flat(g, m);
+  const AgentSet* row =
+      rows.data() + static_cast<std::size_t>(m) * static_cast<std::size_t>(g.n());
   AgentSet out;
-  for (AgentId k : s)
-    out = out.united(table[static_cast<std::size_t>(m)][static_cast<std::size_t>(k)]);
+  for (AgentId k : s) out = out.united(row[k]);
   return out;
+}
+
+AgentSet cone_roots(const CommGraph& g, AgentId j, int m) {
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "cone top out of range");
+  EBA_REQUIRE(j >= 0 && j < g.n(), "agent id out of range");
+  AgentSet frontier{j};
+  for (int m2 = m; m2 > 0; --m2) {
+    AgentSet next;
+    for (AgentId to : frontier) next = next.united(g.present_senders(m2 - 1, to));
+    frontier = next;
+  }
+  return frontier;
 }
 
 std::vector<Value> known_values(const CommGraph& g, AgentId j, int m,
                                 const Cone& owner_cone) {
   std::vector<Value> out;
   if (!owner_cone.contains(j, m)) return out;
-  const Cone jc(g, j, m);
-  bool saw0 = false;
-  bool saw1 = false;
-  for (AgentId k : jc.at(0)) {
-    if (g.pref(k) == PrefLabel::zero) saw0 = true;
-    if (g.pref(k) == PrefLabel::one) saw1 = true;
-  }
-  if (saw0) out.push_back(Value::zero);
-  if (saw1) out.push_back(Value::one);
+  const AgentSet roots = cone_roots(g, j, m);
+  const AgentSet zeros = roots.intersected(g.known_prefs().minus(g.one_prefs()));
+  const AgentSet ones = roots.intersected(g.known_prefs().intersected(g.one_prefs()));
+  if (!zeros.empty()) out.push_back(Value::zero);
+  if (!ones.empty()) out.push_back(Value::one);
   return out;
 }
 

@@ -10,9 +10,18 @@
 //   last_heard   — last_{ij}: the last time m' with (j, m') in the cone
 //
 // All of these are polynomial-time in the size of the graph; they are the
-// machinery behind the polynomial-time optimal FIP P_opt (Prop. 7.9).
+// machinery behind the polynomial-time optimal FIP P_opt (Prop. 7.9). They
+// consume the graph's packed receiver rows word-parallel: a cone frontier
+// step is one OR per frontier member and a fault-row update one OR per
+// definite-absent row.
+//
+// KnowledgeCache memoizes cones and the fault table per graph *revision*, so
+// the P_opt tests — which interrogate the same graph several times per round
+// — rebuild derived knowledge only when the graph actually changes.
 #pragma once
 
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/comm_graph.hpp"
@@ -22,6 +31,10 @@ namespace eba {
 /// The hears-from cone of (target, m_top): cone.at(m') is the set of agents j
 /// with (j, m') ->_r (target, m_top), where the relation follows label-1
 /// edges forward in time. Contains (target, m_top) itself.
+///
+/// Built by backward frontier propagation: the frontier at time m'-1 is the
+/// union of the present-sender rows of the frontier members at m', one word
+/// OR per member. last_{ij} is precomputed for all j during construction.
 class Cone {
  public:
   Cone(const CommGraph& g, AgentId target, int m_top);
@@ -36,32 +49,93 @@ class Cone {
   [[nodiscard]] int top() const { return m_top_; }
 
   /// last_{ij}: the greatest m with (j, m) in the cone, or -1 if j was never
-  /// heard from.
-  [[nodiscard]] int last_heard(AgentId j) const;
+  /// heard from. O(1): precomputed during construction.
+  [[nodiscard]] int last_heard(AgentId j) const {
+    EBA_REQUIRE(j >= 0 && static_cast<std::size_t>(j) < last_heard_.size(),
+                "agent id out of range");
+    return last_heard_[static_cast<std::size_t>(j)];
+  }
 
  private:
   int m_top_;
   std::vector<AgentSet> members_;  ///< by time 0..m_top
+  std::vector<int> last_heard_;    ///< by agent, -1 if absent everywhere
+};
+
+/// Revision-keyed memo of the derived knowledge of ONE graph: the f table
+/// and the cones already requested. Methods take the graph so the cache can
+/// detect staleness via CommGraph::revision() and rebuild lazily; a cache
+/// must only ever be used with the graph it lives next to (FipState owns one
+/// per agent graph).
+///
+/// Copies start empty: the simulator snapshots agent states every round, and
+/// duplicating memoized cones into history would cost more than recomputing
+/// the rare entries a copy ever asks for. Moves keep their contents.
+class KnowledgeCache {
+ public:
+  KnowledgeCache() = default;
+  KnowledgeCache(const KnowledgeCache&) {}
+  KnowledgeCache& operator=(const KnowledgeCache&) {
+    graph_ = nullptr;
+    have_faults_ = false;
+    faults_.clear();
+    cones_.clear();
+    return *this;
+  }
+  KnowledgeCache(KnowledgeCache&&) = default;
+  KnowledgeCache& operator=(KnowledgeCache&&) = default;
+
+  /// Row m of the f table of `g` (entry [j] = f(j, m, g)). The whole table
+  /// is computed at most once per graph revision, flat in one allocation.
+  [[nodiscard]] std::span<const AgentSet> fault_row(const CommGraph& g, int m);
+
+  /// The cone of (target, m_top) in `g`, memoized per (target, m_top) until
+  /// the graph changes. Worth it only for cones consulted repeatedly (the
+  /// P_opt tests all interrogate (self, time)); one-shot cones are cheaper
+  /// built directly.
+  [[nodiscard]] const Cone& cone(const CommGraph& g, AgentId target, int m_top);
+
+ private:
+  void sync(const CommGraph& g);
+
+  /// Graph identity + revision at the last sync. The address is only ever
+  /// compared, never dereferenced, so a cache outliving its graph is safe
+  /// (it just invalidates). Distinct graphs routinely share revision values
+  /// (agents mutate in lockstep), so the address check is what catches a
+  /// cache handed a different graph than the one it memoized.
+  const CommGraph* graph_ = nullptr;
+  std::uint64_t revision_ = 0;
+  bool have_faults_ = false;
+  std::vector<AgentSet> faults_;  ///< (time+1) rows of n, row-major
+  std::unordered_map<std::uint64_t, Cone> cones_;  ///< key: target << 32 | m_top
 };
 
 /// Reconstructs G_{j,m'} from `g`. Precondition: (j, m') is in the cone of
 /// g's owner (i.e. `owner_cone.contains(j, m')`), so every edge into the
 /// extracted cone carries a definite label in `g`.
 [[nodiscard]] CommGraph extract_view(const CommGraph& g, AgentId j, int m);
+/// As above, but reuses/memoizes the (j, m) cone through `cache`.
+[[nodiscard]] CommGraph extract_view(const CommGraph& g, AgentId j, int m,
+                                     KnowledgeCache& cache);
 
 /// f(j, m, g): the faulty agents the owner of g knows that j knew about at
 /// time m (paper §7). f(j, 0, g) is empty; for m > 0 it is the union of the
 /// senders whose round-m messages to j are known omitted, the knowledge of
 /// the senders whose round-m messages to j are known delivered, and
-/// f(j, m-1, g).
+/// f(j, m-1, g). Computes only rows 0..m, not the full table.
 [[nodiscard]] AgentSet known_faults(const CommGraph& g, AgentId j, int m);
 
 /// The full f table: entry [m][j] = f(j, m, g), for m in 0..g.time().
 [[nodiscard]] std::vector<std::vector<AgentSet>> known_faults_table(
     const CommGraph& g);
 
-/// D(S, m, g) = union over k in S of f(k, m, g).
+/// D(S, m, g) = union over k in S of f(k, m, g). Computes rows 0..m only.
 [[nodiscard]] AgentSet distributed_faults(const CommGraph& g, AgentSet s, int m);
+
+/// The time-0 level of the cone of (j, m): the agents whose initial values
+/// reached (j, m). A plain backward frontier walk — no cone object, no
+/// allocations — for callers that only need the roots (known_values).
+[[nodiscard]] AgentSet cone_roots(const CommGraph& g, AgentId j, int m);
 
 /// V(j, m, g): the set of initial values the owner knows j knew at time m.
 /// Per the paper this is empty unless (j, m) is in the owner's cone; the

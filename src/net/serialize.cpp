@@ -19,6 +19,18 @@ std::uint32_t Reader::u32() {
   return v;
 }
 
+void Writer::word(std::uint64_t v, int nbytes) {
+  for (int b = 0; b < nbytes; ++b)
+    out_.push_back(static_cast<std::uint8_t>((v >> (8 * b)) & 0xffu));
+}
+
+std::uint64_t Reader::word(int nbytes) {
+  std::uint64_t v = 0;
+  for (int b = 0; b < nbytes; ++b)
+    v |= static_cast<std::uint64_t>(u8()) << (8 * b);
+  return v;
+}
+
 void encode_message(Writer& w, Value m) {
   w.u8(static_cast<std::uint8_t>(to_int(m)));
 }
@@ -37,15 +49,22 @@ void decode_message(Reader& r, BasicMsg& m) {
   m = static_cast<BasicMsg>(b);
 }
 
+// Packed graph payload: header (n, time), then for each receiver row in
+// round-major order the known and value planes as ceil(n/8)-byte words, then
+// the two preference plane words. This ships the in-memory representation
+// directly — 2 bits per edge on the wire, matching bit_size()'s Prop 8.1
+// accounting — instead of the old byte-per-label walk.
 void encode_graph(Writer& w, const CommGraph& g) {
+  const int row_bytes = (g.n() + 7) / 8;
   w.u32(static_cast<std::uint32_t>(g.n()));
   w.u32(static_cast<std::uint32_t>(g.time()));
   for (int m = 0; m < g.time(); ++m)
-    for (AgentId from = 0; from < g.n(); ++from)
-      for (AgentId to = 0; to < g.n(); ++to)
-        w.u8(static_cast<std::uint8_t>(g.label(m, from, to)));
-  for (AgentId j = 0; j < g.n(); ++j)
-    w.u8(static_cast<std::uint8_t>(g.pref(j)));
+    for (AgentId to = 0; to < g.n(); ++to) {
+      w.word(g.known_senders(m, to).bits(), row_bytes);
+      w.word(g.present_senders(m, to).bits(), row_bytes);
+    }
+  w.word(g.known_prefs().bits(), row_bytes);
+  w.word(g.one_prefs().bits(), row_bytes);
 }
 
 CommGraph decode_graph(Reader& r) {
@@ -53,19 +72,22 @@ CommGraph decode_graph(Reader& r) {
   const int time = static_cast<int>(r.u32());
   EBA_REQUIRE(n >= 1 && n <= kMaxAgents && time >= 0 && time <= 4096,
               "bad graph header");
+  const int row_bytes = (n + 7) / 8;
+  const std::uint64_t full = AgentSet::all(n).bits();
   CommGraph g = CommGraph::blank(n, time);
   for (int m = 0; m < time; ++m)
-    for (AgentId from = 0; from < n; ++from)
-      for (AgentId to = 0; to < n; ++to) {
-        const std::uint8_t b = r.u8();
-        EBA_REQUIRE(b <= static_cast<std::uint8_t>(Label::unknown), "bad label");
-        g.set_label(m, from, to, static_cast<Label>(b));
-      }
-  for (AgentId j = 0; j < n; ++j) {
-    const std::uint8_t b = r.u8();
-    EBA_REQUIRE(b <= static_cast<std::uint8_t>(PrefLabel::unknown), "bad pref");
-    g.set_pref(j, static_cast<PrefLabel>(b));
-  }
+    for (AgentId to = 0; to < n; ++to) {
+      const std::uint64_t known = r.word(row_bytes);
+      const std::uint64_t value = r.word(row_bytes);
+      EBA_REQUIRE((known & ~full) == 0 && (value & ~known) == 0,
+                  "bad label row");
+      g.set_row(m, to, AgentSet(known), AgentSet(value));
+    }
+  const std::uint64_t pk = r.word(row_bytes);
+  const std::uint64_t pv = r.word(row_bytes);
+  EBA_REQUIRE((pk & ~full) == 0 && (pv & ~pk) == 0, "bad pref rows");
+  for (AgentId j : AgentSet(pk))
+    g.set_pref(j, (pv >> j) & 1u ? PrefLabel::one : PrefLabel::zero);
   return g;
 }
 

@@ -22,6 +22,9 @@ class Writer {
  public:
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v);
+  /// Low `nbytes` bytes of `v`, little-endian. Used for the packed n-bit
+  /// rows of communication graphs (nbytes = ceil(n / 8)).
+  void word(std::uint64_t v, int nbytes);
   [[nodiscard]] Bytes take() { return std::move(out_); }
 
  private:
@@ -33,6 +36,7 @@ class Reader {
   explicit Reader(const Bytes& data) : data_(data) {}
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t word(int nbytes);
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
 
  private:

@@ -1,0 +1,178 @@
+// Reference implementation of communication graphs and their knowledge
+// operators, retained verbatim (modulo naming) from the pre-bit-packed
+// library for differential testing. Everything here is deliberately the
+// slow, obviously-correct formulation: one byte per label, element-wise
+// merge, per-member cone loops, and the recursive f-table recurrence —
+// exactly what src/graph/{comm_graph,knowledge} computed before the packed
+// two-plane representation. test_differential_graph.cpp drives both
+// implementations through identical runs and asserts they never diverge.
+#pragma once
+
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace eba::testref {
+
+class RefCommGraph {
+ public:
+  RefCommGraph(int n, AgentId self, Value own_init)
+      : n_(n), time_(0),
+        prefs_(static_cast<std::size_t>(n), PrefLabel::unknown) {
+    prefs_[static_cast<std::size_t>(self)] = pref_of(own_init);
+  }
+
+  static RefCommGraph blank(int n, int time) {
+    RefCommGraph g(n, 0, Value::zero);
+    g.prefs_.assign(static_cast<std::size_t>(n), PrefLabel::unknown);
+    g.time_ = time;
+    g.labels_.assign(static_cast<std::size_t>(time) * static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(n),
+                     Label::unknown);
+    return g;
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int time() const { return time_; }
+
+  [[nodiscard]] Label label(int m, AgentId from, AgentId to) const {
+    return labels_[index(m, from, to)];
+  }
+  void set_label(int m, AgentId from, AgentId to, Label l) {
+    labels_[index(m, from, to)] = l;
+  }
+  [[nodiscard]] PrefLabel pref(AgentId j) const {
+    return prefs_[static_cast<std::size_t>(j)];
+  }
+  void set_pref(AgentId j, PrefLabel p) {
+    prefs_[static_cast<std::size_t>(j)] = p;
+  }
+
+  void advance_round(AgentId self, AgentSet received_from) {
+    const int m = time_;
+    time_ += 1;
+    labels_.resize(static_cast<std::size_t>(time_) *
+                       static_cast<std::size_t>(n_) *
+                       static_cast<std::size_t>(n_),
+                   Label::unknown);
+    for (AgentId from = 0; from < n_; ++from) {
+      const bool got = from == self || received_from.contains(from);
+      set_label(m, from, self, got ? Label::present : Label::absent);
+    }
+  }
+
+  void merge(const RefCommGraph& other) {
+    for (int m = 0; m < other.time_; ++m)
+      for (AgentId from = 0; from < n_; ++from)
+        for (AgentId to = 0; to < n_; ++to) {
+          const Label theirs = other.label(m, from, to);
+          if (theirs == Label::unknown) continue;
+          set_label(m, from, to, theirs);
+        }
+    for (AgentId j = 0; j < n_; ++j) {
+      const PrefLabel theirs = other.pref(j);
+      if (theirs != PrefLabel::unknown) set_pref(j, theirs);
+    }
+  }
+
+  /// Rebuilds a packed CommGraph through the label-level mutation API; the
+  /// differential test checks this equals (and hashes equal to) the packed
+  /// graph grown incrementally through advance_round/merge.
+  [[nodiscard]] CommGraph to_packed() const {
+    CommGraph g = CommGraph::blank(n_, time_);
+    for (int m = 0; m < time_; ++m)
+      for (AgentId from = 0; from < n_; ++from)
+        for (AgentId to = 0; to < n_; ++to)
+          g.set_label(m, from, to, label(m, from, to));
+    for (AgentId j = 0; j < n_; ++j) g.set_pref(j, pref(j));
+    return g;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(int m, AgentId from, AgentId to) const {
+    return (static_cast<std::size_t>(m) * static_cast<std::size_t>(n_) +
+            static_cast<std::size_t>(from)) *
+               static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+
+  int n_;
+  int time_;
+  std::vector<Label> labels_;     ///< time * n * n, round-major
+  std::vector<PrefLabel> prefs_;  ///< n
+};
+
+/// The pre-packed cone construction: per-member, per-sender label probes.
+class RefCone {
+ public:
+  RefCone(const RefCommGraph& g, AgentId target, int m_top) : m_top_(m_top) {
+    members_.assign(static_cast<std::size_t>(m_top) + 1, AgentSet{});
+    members_[static_cast<std::size_t>(m_top)].insert(target);
+    for (int m = m_top; m > 0; --m) {
+      for (AgentId to : members_[static_cast<std::size_t>(m)]) {
+        for (AgentId from = 0; from < g.n(); ++from) {
+          if (g.label(m - 1, from, to) == Label::present)
+            members_[static_cast<std::size_t>(m - 1)].insert(from);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool contains(AgentId j, int m) const {
+    return m >= 0 && m <= m_top_ &&
+           members_[static_cast<std::size_t>(m)].contains(j);
+  }
+  [[nodiscard]] AgentSet at(int m) const {
+    return members_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] int last_heard(AgentId j) const {
+    for (int m = m_top_; m >= 0; --m)
+      if (members_[static_cast<std::size_t>(m)].contains(j)) return m;
+    return -1;
+  }
+
+ private:
+  int m_top_;
+  std::vector<AgentSet> members_;
+};
+
+inline RefCommGraph ref_extract_view(const RefCommGraph& g, AgentId j, int m) {
+  const RefCone cone(g, j, m);
+  RefCommGraph view = RefCommGraph::blank(g.n(), m);
+  for (int m2 = 1; m2 <= m; ++m2)
+    for (AgentId to : cone.at(m2))
+      for (AgentId from = 0; from < g.n(); ++from)
+        view.set_label(m2 - 1, from, to, g.label(m2 - 1, from, to));
+  for (AgentId k : cone.at(0)) view.set_pref(k, g.pref(k));
+  return view;
+}
+
+/// The full f table by the original element-wise recurrence.
+inline std::vector<std::vector<AgentSet>> ref_known_faults_table(
+    const RefCommGraph& g) {
+  std::vector<std::vector<AgentSet>> f(
+      static_cast<std::size_t>(g.time()) + 1,
+      std::vector<AgentSet>(static_cast<std::size_t>(g.n())));
+  for (int m = 1; m <= g.time(); ++m) {
+    for (AgentId j = 0; j < g.n(); ++j) {
+      AgentSet acc = f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(j)];
+      for (AgentId from = 0; from < g.n(); ++from) {
+        switch (g.label(m - 1, from, j)) {
+          case Label::absent:
+            acc.insert(from);
+            break;
+          case Label::present:
+            acc = acc.united(
+                f[static_cast<std::size_t>(m - 1)][static_cast<std::size_t>(from)]);
+            break;
+          case Label::unknown:
+            break;
+        }
+      }
+      f[static_cast<std::size_t>(m)][static_cast<std::size_t>(j)] = acc;
+    }
+  }
+  return f;
+}
+
+}  // namespace eba::testref

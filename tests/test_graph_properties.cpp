@@ -144,13 +144,13 @@ TEST_P(GraphProperties, SerializationRoundTripsAndSizesMatch) {
       const Bytes payload = w.take();
       Reader r(payload);
       EXPECT_EQ(decode_graph(r), s.graph);
-      // 8 header bytes + one byte per label + one per preference.
-      const std::size_t labels =
-          static_cast<std::size_t>(s.graph.time()) *
-          static_cast<std::size_t>(s.graph.n()) *
-          static_cast<std::size_t>(s.graph.n());
-      EXPECT_EQ(payload.size(),
-                8u + labels + static_cast<std::size_t>(s.graph.n()));
+      // 8 header bytes + two ceil(n/8)-byte plane words per receiver row
+      // (time * n rows) plus two for the preference planes.
+      const std::size_t row_bytes =
+          (static_cast<std::size_t>(s.graph.n()) + 7) / 8;
+      const std::size_t rows = static_cast<std::size_t>(s.graph.time()) *
+                               static_cast<std::size_t>(s.graph.n());
+      EXPECT_EQ(payload.size(), 8u + 2 * row_bytes * (rows + 1));
     }
   }
 }
