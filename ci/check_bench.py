@@ -1,21 +1,29 @@
 #!/usr/bin/env python3
-"""Perf regression gate for the P_opt hot-path benchmarks.
+"""Perf regression gate for the P_opt hot-path and throughput benchmarks.
 
 Compares a freshly produced google-benchmark JSON report (bench_perf →
 BENCH_perf.json) against the committed baseline and fails if any gated
 benchmark regressed by more than the allowed factor (default 2x, per the
-ROADMAP "CI perf regression gate" item).
+ROADMAP "CI perf regression gate" item). When throughput reports are also
+supplied (bench_throughput → BENCH_throughput.json), the gate additionally
+fails if the headline aggregate decided-instances/sec fell below
+baseline/max-ratio, if the worker pool lost its >=5x edge over the
+sequential thread-per-agent cluster, or if fewer concurrent instances
+completed than the baseline admitted.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
 so the gate is meant to catch algorithmic regressions (a hot path sliding
-back toward the pre-packed implementation), not few-percent noise. Refresh
-the committed baseline (cmake --build build --target bench_all) whenever a
-PR intentionally changes these timings.
+back toward the pre-packed implementation), not few-percent noise. The
+speedup check has no such caveat — it is a same-machine ratio. Refresh
+the committed baselines (cmake --build build --target bench_all) whenever a
+PR intentionally changes these numbers.
 
 Usage:
   ci/check_bench.py --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json \
-      [--max-ratio 2.0]
+      [--baseline-throughput BENCH_throughput.json] \
+      [--fresh-throughput fresh/BENCH_throughput.json] \
+      [--max-ratio 2.0] [--min-speedup 5.0]
 """
 
 import argparse
@@ -55,14 +63,60 @@ def load_times(path):
     return times
 
 
+def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
+                     failures):
+    """Gates the headline decided-instances/sec of BENCH_throughput.json."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+
+    base_dps = float(baseline["headline"]["decided_per_sec"])
+    fresh_dps = float(fresh["headline"]["decided_per_sec"])
+    ratio = base_dps / fresh_dps if fresh_dps > 0 else float("inf")
+    flag = " <-- REGRESSION" if ratio > max_ratio else ""
+    print(f"{'throughput headline':<24} {base_dps:>10.0f}/s {fresh_dps:>10.0f}/s "
+          f"{ratio:>7.2f}x{flag}")
+    if ratio > max_ratio:
+        failures.append(
+            f"throughput headline: {fresh_dps:.0f} decided/s vs baseline "
+            f"{base_dps:.0f} ({ratio:.2f}x slower > {max_ratio}x)")
+
+    # Same acceptance floor as bench_throughput's own exit check: at least
+    # 1000 concurrent instances must complete (the fresh report's admitted
+    # count is what matters; the baseline may have sized its sweep
+    # differently).
+    completed = int(fresh["headline"]["completed"])
+    admitted = int(fresh["headline"]["instances"])
+    if completed < 1000:
+        failures.append(
+            f"throughput headline: only {completed}/{admitted} concurrent "
+            f"instances completed (minimum 1000)")
+
+    speedup = float(fresh["speedup_vs_thread_per_agent"])
+    print(f"{'pool vs thread/agent':<24} {'(min ' + str(min_speedup) + 'x)':>12} "
+          f"{speedup:>10.2f}x")
+    if speedup < min_speedup:
+        failures.append(
+            f"worker pool only {speedup:.2f}x the sequential thread-per-agent "
+            f"cluster (minimum {min_speedup}x)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_perf.json")
     parser.add_argument("--fresh", required=True,
                         help="freshly generated BENCH_perf.json")
+    parser.add_argument("--baseline-throughput",
+                        help="committed BENCH_throughput.json")
+    parser.add_argument("--fresh-throughput",
+                        help="freshly generated BENCH_throughput.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="minimum worker-pool speedup over the "
+                             "thread-per-agent baseline (default 5)")
     args = parser.parse_args()
 
     baseline = load_times(args.baseline)
@@ -98,6 +152,13 @@ def main():
     # result would be meaningless.
     if compared == 0:
         failures.append("no gated benchmark was present in both reports")
+
+    if bool(args.baseline_throughput) != bool(args.fresh_throughput):
+        failures.append("--baseline-throughput and --fresh-throughput must "
+                        "be passed together")
+    elif args.baseline_throughput:
+        check_throughput(args.baseline_throughput, args.fresh_throughput,
+                         args.max_ratio, args.min_speedup, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

@@ -43,6 +43,22 @@ else()
   message(WARNING "bench_perf binary not found; BENCH_perf.json not refreshed")
 endif()
 
+# --- bench_throughput: emits its own JSON on stdout --------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_throughput)
+  message(STATUS "Running bench_throughput (workload driver, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_throughput
+    RESULT_VARIABLE tp_rc
+    OUTPUT_VARIABLE tp_out
+    ERROR_VARIABLE tp_err)
+  if(NOT tp_rc EQUAL 0)
+    message(FATAL_ERROR "bench_throughput failed (rc=${tp_rc}):\n${tp_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_throughput.json "${tp_out}")
+else()
+  message(WARNING "bench_throughput binary not found; BENCH_throughput.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

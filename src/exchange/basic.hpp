@@ -35,6 +35,8 @@ class BasicExchange {
  public:
   using State = BasicState;
   using Message = BasicMsg;
+  /// µ ignores the destination: both message kinds are broadcast.
+  static constexpr bool kBroadcast = true;
 
   explicit BasicExchange(int n) : n_(n) {
     EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");

@@ -30,6 +30,8 @@ class MinExchange {
  public:
   using State = MinState;
   using Message = Value;
+  /// µ ignores the destination: decisions are announced to everyone.
+  static constexpr bool kBroadcast = true;
 
   explicit MinExchange(int n) : n_(n) {
     EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");

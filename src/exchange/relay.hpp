@@ -41,6 +41,8 @@ class RelayExchange {
  public:
   using State = RelayState;
   using Message = RelayMsg;
+  /// µ ignores the destination: decisions and relays are broadcast.
+  static constexpr bool kBroadcast = true;
 
   explicit RelayExchange(int n) : n_(n) {
     EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");

@@ -2,6 +2,81 @@
 
 namespace eba {
 
+BusPool::BusPool(std::size_t capacity) : slots_(capacity) {
+  EBA_REQUIRE(capacity >= 1, "bus pool needs at least one slot");
+  free_.reserve(capacity);
+  // Stack of free ids, lowest id on top: deterministic slot assignment for
+  // single-threaded callers.
+  for (std::size_t id = capacity; id > 0; --id) free_.push_back(id - 1);
+}
+
+BusPool::SlotId BusPool::acquire(FailurePattern alpha) {
+  std::lock_guard lock(mu_);
+  EBA_REQUIRE(!free_.empty(), "bus pool exhausted");
+  const SlotId id = free_.back();
+  free_.pop_back();
+  Slot& slot = slots_[id];
+  slot.busy = true;
+  slot.round = 0;
+  slot.alpha = std::move(alpha);
+  return id;
+}
+
+void BusPool::release(SlotId id) {
+  std::lock_guard lock(mu_);
+  EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
+              "releasing a slot that is not in use");
+  slots_[id].busy = false;
+  slots_[id].alpha.reset();
+  free_.push_back(id);
+}
+
+std::size_t BusPool::in_use() const {
+  std::lock_guard lock(mu_);
+  return slots_.size() - free_.size();
+}
+
+BusPool::RoundResult BusPool::exchange_round(
+    SlotId id, std::vector<std::optional<Bytes>> outbox) {
+  // No lock: a slot is driven by exactly one worker at a time (the pool
+  // mutex in acquire/release orders successive owners), and this touches
+  // only per-slot state.
+  EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
+              "exchange_round on a slot that is not in use");
+  Slot& slot = slots_[id];
+  const FailurePattern& alpha = *slot.alpha;
+  const int n = alpha.n();
+  EBA_REQUIRE(static_cast<int>(outbox.size()) == n, "outbox size mismatch");
+
+  RoundResult res;
+  res.round = slot.round;
+  res.inbox.assign(
+      static_cast<std::size_t>(n),
+      std::vector<std::optional<Bytes>>(static_cast<std::size_t>(n)));
+  res.sent.assign(static_cast<std::size_t>(n), AgentSet{});
+  res.delivered.assign(static_cast<std::size_t>(n), AgentSet{});
+  for (AgentId from = 0; from < n; ++from) {
+    const auto& payload = outbox[static_cast<std::size_t>(from)];
+    if (!payload) continue;
+    res.sent[static_cast<std::size_t>(from)] =
+        AgentSet::all(n).minus(AgentSet{from});
+    for (AgentId to = 0; to < n; ++to) {
+      if (!alpha.delivered(slot.round, from, to)) continue;
+      res.inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+          *payload;
+      if (to != from) res.delivered[static_cast<std::size_t>(from)].insert(to);
+    }
+  }
+  slot.round += 1;
+  return res;
+}
+
+int BusPool::completed_rounds(SlotId id) const {
+  EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
+              "completed_rounds on a slot that is not in use");
+  return slots_[id].round;
+}
+
 RoundBus::RoundBus(int n, FailurePattern alpha)
     : n_(n),
       alpha_(std::move(alpha)),

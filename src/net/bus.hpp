@@ -1,10 +1,20 @@
-// Round-synchronized message bus with omission fault injection.
+// Byte-level message buses with omission fault injection.
 //
-// The threaded runtime's agents each call exchange() once per round with
-// their broadcast payload; the call blocks until every agent has submitted,
-// applies the failure pattern to decide which copies are delivered, and
-// returns each agent's inbox. This realizes the paper's synchronous
-// round structure over real threads.
+// Two realizations of the paper's synchronous round structure over real
+// byte payloads:
+//
+//  * `BusPool` — the instance-oriented bus. A pool of slots, each hosting
+//    one agreement instance's rounds: the slot owns the instance's failure
+//    pattern and stages its payloads, and `exchange_round()` moves one full
+//    round of broadcasts through the adversary filter synchronously. Slots
+//    own no threads; whichever worker is currently advancing the instance
+//    (net/workload.hpp multiplexes thousands of instances over a fixed
+//    worker pool) drives the slot. Distinct slots may be driven
+//    concurrently; one slot must be driven by one worker at a time.
+//  * `RoundBus` — the thread-per-agent bus kept for the legacy cluster
+//    runtime and barrier tests: each of n agent threads calls exchange()
+//    once per round, the call blocks until every agent submitted, and each
+//    thread gets its filtered inbox back.
 #pragma once
 
 #include <condition_variable>
@@ -16,6 +26,55 @@
 #include "net/serialize.hpp"
 
 namespace eba {
+
+/// A pool of threadless bus slots for concurrent agreement instances.
+class BusPool {
+ public:
+  using SlotId = std::size_t;
+
+  /// One completed round as seen by the whole instance.
+  struct RoundResult {
+    int round = 0;  ///< the round index that was just exchanged (0-based)
+    /// inbox[to][from]: payload received (self-delivery included).
+    std::vector<std::vector<std::optional<Bytes>>> inbox;
+    /// sent[from]: receivers (excluding `from`) addressed by a non-⊥ payload.
+    std::vector<AgentSet> sent;
+    /// delivered[from]: subset of sent[from] the adversary delivered.
+    std::vector<AgentSet> delivered;
+  };
+
+  explicit BusPool(std::size_t capacity);
+
+  /// Claims a free slot for an instance governed by `alpha`. Throws when the
+  /// pool is exhausted — admission control is the caller's job.
+  [[nodiscard]] SlotId acquire(FailurePattern alpha);
+  /// Returns a slot to the pool; the slot's round counter resets.
+  void release(SlotId id);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t in_use() const;
+
+  /// Moves one round of broadcast payloads (outbox[i] = agent i's payload,
+  /// nullopt = ⊥) through the slot's failure pattern and returns every
+  /// agent's inbox plus the sent/delivered logs. Synchronous: the caller is
+  /// the instance's current worker and submits all n payloads at once.
+  [[nodiscard]] RoundResult exchange_round(
+      SlotId id, std::vector<std::optional<Bytes>> outbox);
+
+  /// Rounds completed by the instance currently occupying the slot.
+  [[nodiscard]] int completed_rounds(SlotId id) const;
+
+ private:
+  struct Slot {
+    bool busy = false;
+    int round = 0;
+    std::optional<FailurePattern> alpha;
+  };
+
+  mutable std::mutex mu_;  ///< guards acquire/release bookkeeping only
+  std::vector<Slot> slots_;
+  std::vector<SlotId> free_;
+};
 
 class RoundBus {
  public:
@@ -36,8 +95,11 @@ class RoundBus {
                                      bool decided);
 
   /// Delivery log: delivered(m)[i] = receivers (other than i) that got i's
-  /// round-(m+1) payload. Only valid after the round completed.
+  /// round-(m+1) payload. A round's log exists only once the round has
+  /// completed (all n agents returned from exchange()); asking for a round
+  /// that has not completed throws, it never returns a partial log.
   [[nodiscard]] std::vector<AgentSet> delivered_log(int round) const;
+  /// Same completion contract as delivered_log().
   [[nodiscard]] std::vector<AgentSet> sent_log(int round) const;
   [[nodiscard]] int completed_rounds() const;
 

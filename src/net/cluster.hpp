@@ -1,8 +1,16 @@
-// Threaded cluster runtime: runs an (exchange, action-protocol) pair as n
-// concurrent agent threads over the RoundBus, with messages travelling as
-// real byte payloads. Produces the same RunRecord as the abstract simulator
-// for the same inputs (tested), demonstrating the protocols over a concrete
-// messaging layer.
+// Cluster runtime: runs an (exchange, action-protocol) pair over the
+// byte-payload messaging layer, producing the same RunRecord as the
+// abstract simulator for the same inputs (tested).
+//
+// `run_cluster` is a single-instance wrapper over the instance-oriented
+// workload engine (net/workload.hpp): one Stepper + one bus slot, driven by
+// one worker. For many concurrent instances call `run_workload` directly.
+//
+// `run_cluster_thread_per_agent` keeps the seed's thread-per-agent model —
+// n agent threads synchronizing on the RoundBus barrier every round — as a
+// reference implementation: the equivalence tests pin the new engine
+// against it, and bench_throughput uses it as the aggregate-throughput
+// baseline. It spawns n threads per call; do not use it for workloads.
 #pragma once
 
 #include <thread>
@@ -12,20 +20,33 @@
 #include "exchange/exchange.hpp"
 #include "net/bus.hpp"
 #include "net/serialize.hpp"
+#include "net/workload.hpp"
 
 namespace eba {
-
-template <ExchangeProtocol X>
-struct ClusterResult {
-  RunRecord record;
-  std::vector<typename X::State> final_states;
-};
 
 template <ExchangeProtocol X, class P>
 ClusterResult<X> run_cluster(const X& x, const P& act,
                              const FailurePattern& alpha,
                              const std::vector<Value>& inits, int t,
                              int max_rounds = 0) {
+  InstanceSpec spec{alpha, inits};
+  WorkloadOptions opt;
+  opt.workers = 1;
+  opt.max_rounds = max_rounds;
+  WorkloadResult<X> result =
+      run_workload(x, act, std::span<const InstanceSpec>(&spec, 1), t, opt);
+  return std::move(result.instances.front());
+}
+
+template <ExchangeProtocol X, class P>
+ClusterResult<X> run_cluster_thread_per_agent(const X& x, const P& act,
+                                              const FailurePattern& alpha,
+                                              const std::vector<Value>& inits,
+                                              int t, int max_rounds = 0) {
+  // The RoundBus broadcasts one payload per agent per round; an exchange
+  // whose µ depends on the destination cannot ride it (see stepper.hpp).
+  static_assert(BroadcastExchange<X>,
+                "the thread-per-agent bus requires a broadcast exchange");
   const int n = x.n();
   EBA_REQUIRE(alpha.n() == n, "pattern/exchange agent count mismatch");
   EBA_REQUIRE(static_cast<int>(inits.size()) == n, "inits size mismatch");

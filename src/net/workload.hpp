@@ -1,0 +1,236 @@
+// Many-instance workload driver: thousands of concurrent agreement
+// instances multiplexed over a fixed worker pool and a BusPool.
+//
+// Each instance is one `Stepper` (sim/stepper.hpp) plus one bus slot: the
+// stepper holds the n agent states and the run record, the slot carries the
+// instance's byte payloads through the adversary. Scheduling is
+// round-sliced — a worker pops an instance, advances it by exactly one
+// round (serialize µ → slot.exchange_round → deserialize → δ), and requeues
+// it — so every admitted instance is concurrently in flight from admission
+// to completion, none owns a thread, and the worker count bounds CPU use,
+// not the instance count. This replaces the seed's thread-per-agent cluster
+// (n threads per run) as the execution model for cluster workloads;
+// `run_cluster` (net/cluster.hpp) is the single-instance wrapper.
+//
+// Per-instance results are RunRecord-identical to `simulate()` on the same
+// (pattern, preferences) — enforced by tests/test_workload.cpp.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "exchange/exchange.hpp"
+#include "net/bus.hpp"
+#include "net/serialize.hpp"
+#include "sim/stepper.hpp"
+
+namespace eba {
+
+/// Result of one instance: the protocol-agnostic record plus every agent's
+/// final typed state. (Also what `run_cluster` returns.)
+template <ExchangeProtocol X>
+struct ClusterResult {
+  RunRecord record;
+  std::vector<typename X::State> final_states;
+};
+
+/// One agreement instance: its adversary and initial preferences.
+struct InstanceSpec {
+  FailurePattern alpha;
+  std::vector<Value> inits;
+};
+
+struct WorkloadOptions {
+  int workers = 0;     ///< worker threads; 0 = hardware concurrency
+  int max_rounds = 0;  ///< per-instance horizon; 0 = t+4
+};
+
+template <ExchangeProtocol X>
+struct WorkloadResult {
+  /// instances[k] corresponds to specs[k], regardless of completion order.
+  std::vector<ClusterResult<X>> instances;
+  /// Admission-to-completion latency per instance, in microseconds. All
+  /// instances are admitted (occupy a bus slot) when the workload starts,
+  /// so queueing delay under load is part of the latency.
+  std::vector<double> latency_us;
+  double wall_seconds = 0;
+  int workers = 0;
+  /// Instances concurrently in flight (= slots held) throughout the run.
+  std::size_t concurrent_instances = 0;
+};
+
+template <ExchangeProtocol X, class P>
+WorkloadResult<X> run_workload(const X& x, const P& act,
+                               std::span<const InstanceSpec> specs, int t,
+                               const WorkloadOptions& opt = {}) {
+  // The byte bus fans one payload out to every receiver; an exchange whose
+  // µ depends on the destination would silently send wrong payloads here.
+  static_assert(BroadcastExchange<X>,
+                "run_workload requires a broadcast exchange (X::kBroadcast)");
+  using Message = typename X::Message;
+  using Clock = std::chrono::steady_clock;
+
+  WorkloadResult<X> result;
+  result.instances.resize(specs.size());
+  result.latency_us.assign(specs.size(), 0.0);
+  result.concurrent_instances = specs.size();
+  if (specs.empty()) return result;
+
+  const int n = x.n();
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+
+  struct Instance {
+    Stepper<X, P> stepper;
+    BusPool::SlotId slot;
+  };
+
+  BusPool pool(specs.size());
+  std::vector<Instance> instances;
+  instances.reserve(specs.size());
+  for (const InstanceSpec& spec : specs)
+    instances.push_back({Stepper<X, P>(x, act, spec.alpha, spec.inits, t, sopt),
+                         pool.acquire(spec.alpha)});
+
+  int workers = opt.workers > 0
+                    ? opt.workers
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (workers < 1) workers = 1;
+  if (static_cast<std::size_t>(workers) > specs.size())
+    workers = static_cast<int>(specs.size());
+  result.workers = workers;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  for (std::size_t k = 0; k < specs.size(); ++k) ready.push_back(k);
+  std::size_t remaining = specs.size();
+  std::exception_ptr error;
+
+  const Clock::time_point admitted = Clock::now();
+
+  // Advances one instance by one round over the wire. Returns true when the
+  // instance has completed (including "was already done").
+  auto advance = [&](Instance& inst) -> bool {
+    const std::vector<Action>* actions = inst.stepper.begin_round();
+    if (!actions) return true;
+
+    std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
+    std::size_t bits = 0;
+    std::size_t messages = 0;
+    for (AgentId i = 0; i < n; ++i) {
+      const std::optional<Message> m =
+          x.message(inst.stepper.states()[static_cast<std::size_t>(i)],
+                    (*actions)[static_cast<std::size_t>(i)], /*dest=*/0);
+      if (!m) continue;
+      bits += static_cast<std::size_t>(n - 1) * x.message_bits(*m);
+      messages += static_cast<std::size_t>(n - 1);
+      outbox[static_cast<std::size_t>(i)] = to_bytes(*m);
+    }
+
+    BusPool::RoundResult res =
+        pool.exchange_round(inst.slot, std::move(outbox));
+
+    // Every receiver's copy of a broadcast payload is bit-identical, so
+    // each sender's payload is decoded once and the decoded value shared
+    // across its receivers — exactly as the abstract simulator shares µ's
+    // result (the thread-per-agent model decoded per receiver by necessity).
+    std::vector<std::vector<std::optional<Message>>> inbox(
+        static_cast<std::size_t>(n),
+        std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
+    for (AgentId from = 0; from < n; ++from) {
+      std::optional<Message> decoded;
+      for (AgentId to = 0; to < n; ++to) {
+        const auto& payload = res.inbox[static_cast<std::size_t>(to)]
+                                       [static_cast<std::size_t>(from)];
+        if (!payload) continue;
+        if (!decoded) decoded = from_bytes<Message>(*payload);
+        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+            *decoded;
+      }
+    }
+    inst.stepper.finish_round(inbox, std::move(res.sent),
+                              std::move(res.delivered), bits, messages);
+    return inst.stepper.done();
+  };
+
+  // Workers claim a small batch of instances per queue access: a round of
+  // a small instance is microseconds, so per-round locking would dominate.
+  constexpr std::size_t kBatch = 8;
+
+  auto worker_main = [&] {
+    try {
+      std::vector<std::size_t> batch;
+      std::vector<std::size_t> requeue;
+      batch.reserve(kBatch);
+      requeue.reserve(kBatch);
+      for (;;) {
+        batch.clear();
+        {
+          std::unique_lock lock(mu);
+          cv.wait(lock, [&] { return !ready.empty() || remaining == 0; });
+          if (ready.empty()) return;
+          while (!ready.empty() && batch.size() < kBatch) {
+            batch.push_back(ready.front());
+            ready.pop_front();
+          }
+        }
+        requeue.clear();
+        std::size_t completed_now = 0;
+        for (std::size_t idx : batch) {
+          Instance& inst = instances[idx];
+          if (advance(inst)) {
+            result.latency_us[idx] =
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          admitted)
+                    .count();
+            result.instances[idx].record = inst.stepper.take_record();
+            result.instances[idx].final_states = inst.stepper.take_states();
+            pool.release(inst.slot);
+            completed_now += 1;
+          } else {
+            requeue.push_back(idx);
+          }
+        }
+        std::lock_guard lock(mu);
+        // Another worker may have aborted (cleared the queue and zeroed
+        // `remaining`) while this batch ran; touching the counter then
+        // would underflow it and deadlock the pool.
+        if (error) return;
+        for (std::size_t idx : requeue) ready.push_back(idx);
+        remaining -= completed_now;
+        if (remaining == 0)
+          cv.notify_all();
+        else if (!requeue.empty())
+          cv.notify_one();
+      }
+    } catch (...) {
+      std::lock_guard lock(mu);
+      if (!error) error = std::current_exception();
+      ready.clear();
+      remaining = 0;
+      cv.notify_all();
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main);
+  }
+  if (error) std::rethrow_exception(error);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - admitted).count();
+  return result;
+}
+
+}  // namespace eba

@@ -6,7 +6,7 @@
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
 #include "exchange/min.hpp"
-#include "sim/simulator.hpp"
+#include "sim/stepper.hpp"
 
 namespace eba {
 
@@ -31,17 +31,21 @@ template <class X, class P>
 RunSummary summarize(const X& x, const P& p, const FailurePattern& alpha,
                      const std::vector<Value>& inits, int t,
                      const DriveOptions& opt) {
-  SimulateOptions sopt;
+  // A bare stepper: the drivers never read intermediate states, so the run
+  // advances in place with no per-round state materialization.
+  StepperOptions sopt;
   sopt.max_rounds = opt.max_rounds;
-  Run<X> run = simulate(x, p, alpha, inits, t, sopt);
+  Stepper<X, P> stepper(x, p, alpha, inits, t, sopt);
+  while (stepper.step()) {
+  }
   RunSummary s;
   s.n = x.n();
-  s.rounds = run.record.rounds;
-  s.bits_sent = run.bits_sent;
-  s.messages_sent = run.messages_sent;
+  s.rounds = stepper.time();
+  s.bits_sent = stepper.bits_sent();
+  s.messages_sent = stepper.messages_sent();
+  s.record = stepper.take_record();
   s.decisions.reserve(static_cast<std::size_t>(s.n));
-  for (AgentId i = 0; i < s.n; ++i) s.decisions.push_back(run.record.decision(i));
-  s.record = std::move(run.record);
+  for (AgentId i = 0; i < s.n; ++i) s.decisions.push_back(s.record.decision(i));
   return s;
 }
 

@@ -1,19 +1,23 @@
 // The synchronous runs-and-systems simulator (paper §3).
 //
 // Given an information-exchange protocol E, an action protocol P, a failure
-// pattern α and initial preferences, the run is uniquely determined; this
-// header computes it with the paper's round semantics: at each time k every
-// agent performs P(s_i), the exchange chooses messages µ(s_i, a_i), the
-// adversary filters them, and δ produces the time-(k+1) states.
+// pattern α and initial preferences, the run is uniquely determined.
+// `simulate()` computes it with the paper's round semantics — at each time k
+// every agent performs P(s_i), the exchange chooses messages µ(s_i, a_i),
+// the adversary filters them, and δ produces the time-(k+1) states — by
+// driving the in-place `Stepper` (stepper.hpp) with a `MaterializingSink`,
+// recovering the classic fully-materialized `Run<X>` (every agent's state at
+// every time). Callers that only need the record should run a bare Stepper
+// instead and skip the per-round state copies (sim/drivers.cpp does).
 #pragma once
 
-#include <optional>
-#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/types.hpp"
 #include "exchange/exchange.hpp"
 #include "failure/pattern.hpp"
+#include "sim/stepper.hpp"
 
 namespace eba {
 
@@ -37,90 +41,19 @@ template <ExchangeProtocol X, class P>
 Run<X> simulate(const X& x, const P& act, const FailurePattern& alpha,
                 const std::vector<Value>& inits, int t,
                 const SimulateOptions& opt = {}) {
-  const int n = x.n();
-  EBA_REQUIRE(alpha.n() == n, "pattern/exchange agent count mismatch");
-  EBA_REQUIRE(static_cast<int>(inits.size()) == n, "inits size mismatch");
-  const int max_rounds = opt.max_rounds > 0 ? opt.max_rounds : t + 4;
-
-  Run<X> run;
-  run.record.n = n;
-  run.record.t = t;
-  run.record.inits = inits;
-  run.record.nonfaulty = alpha.nonfaulty();
-
-  run.states.emplace_back();
-  run.states.back().reserve(static_cast<std::size_t>(n));
-  for (AgentId i = 0; i < n; ++i)
-    run.states.back().push_back(
-        x.initial_state(i, inits[static_cast<std::size_t>(i)]));
-
-  std::vector<bool> decided(static_cast<std::size_t>(n), false);
-  using Message = typename X::Message;
-
-  for (int m = 0; m < max_rounds; ++m) {
-    if (opt.stop_when_all_decided) {
-      bool all = true;
-      for (bool d : decided) all = all && d;
-      if (all) break;
-    }
-    const auto& cur = run.states[static_cast<std::size_t>(m)];
-
-    // 1. Actions.
-    std::vector<Action> actions(static_cast<std::size_t>(n));
-    for (AgentId i = 0; i < n; ++i) {
-      actions[static_cast<std::size_t>(i)] = act(cur[static_cast<std::size_t>(i)]);
-      if (actions[static_cast<std::size_t>(i)].is_decide())
-        decided[static_cast<std::size_t>(i)] = true;
-    }
-
-    // 2. Messages (all exchanges in this library broadcast: µ is
-    // destination-independent, so compute each sender's message once).
-    std::vector<std::optional<Message>> outgoing(static_cast<std::size_t>(n));
-    std::vector<AgentSet> sent(static_cast<std::size_t>(n));
-    std::vector<AgentSet> delivered_to(static_cast<std::size_t>(n));
-    for (AgentId i = 0; i < n; ++i) {
-      outgoing[static_cast<std::size_t>(i)] =
-          x.message(cur[static_cast<std::size_t>(i)],
-                    actions[static_cast<std::size_t>(i)], /*dest=*/0);
-      if (outgoing[static_cast<std::size_t>(i)]) {
-        run.bits_sent +=
-            static_cast<std::size_t>(n - 1) *
-            x.message_bits(*outgoing[static_cast<std::size_t>(i)]);
-        run.messages_sent += static_cast<std::size_t>(n - 1);
-        sent[static_cast<std::size_t>(i)] =
-            AgentSet::all(n).minus(AgentSet{i});
-      }
-    }
-
-    // 3. Adversary filtering + delivery; self-delivery always succeeds.
-    std::vector<std::vector<std::optional<Message>>> inbox(
-        static_cast<std::size_t>(n),
-        std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
-    for (AgentId i = 0; i < n; ++i) {
-      if (!outgoing[static_cast<std::size_t>(i)]) continue;
-      for (AgentId j = 0; j < n; ++j) {
-        if (!alpha.delivered(m, i, j)) continue;
-        inbox[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
-            outgoing[static_cast<std::size_t>(i)];
-        if (j != i) delivered_to[static_cast<std::size_t>(i)].insert(j);
-      }
-    }
-
-    // 4. State updates.
-    run.states.emplace_back(cur);
-    auto& next = run.states.back();
-    for (AgentId i = 0; i < n; ++i)
-      x.update(next[static_cast<std::size_t>(i)],
-               actions[static_cast<std::size_t>(i)],
-               std::span<const std::optional<Message>>(
-                   inbox[static_cast<std::size_t>(i)]));
-
-    run.record.actions.push_back(std::move(actions));
-    run.record.sent.push_back(std::move(sent));
-    run.record.delivered.push_back(std::move(delivered_to));
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+  sopt.stop_when_all_decided = opt.stop_when_all_decided;
+  MaterializingSink<X> sink;
+  Stepper<X, P> stepper(x, act, alpha, inits, t, sopt, &sink);
+  while (stepper.step()) {
   }
 
-  run.record.rounds = static_cast<int>(run.record.actions.size());
+  Run<X> run;
+  run.bits_sent = stepper.bits_sent();
+  run.messages_sent = stepper.messages_sent();
+  run.record = stepper.take_record();
+  run.states = std::move(sink.states());
   return run;
 }
 

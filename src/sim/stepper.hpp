@@ -1,0 +1,386 @@
+// The instance-oriented run engine (paper §3).
+//
+// `Stepper<X, P>` advances the n agent states of ONE agreement instance
+// round by round, **in place**: no per-round snapshot of all states is
+// materialized unless a `TraceSink` opts in. `simulate()` (simulator.hpp)
+// is a thin wrapper that attaches a materializing sink to recover the
+// classic fully-materialized `Run<X>`; the drivers and the net-layer
+// workload engine run the stepper bare, so a run costs O(n) state, not
+// O(rounds · n).
+//
+// The stepper exposes two ways to run a round:
+//
+//  * `step()` — the whole round in memory: actions, µ, adversary
+//    filtering per the instance's failure pattern, δ. This is the §3
+//    semantics verbatim and what `simulate()` uses.
+//  * `begin_round()` / `finish_round()` — the split-phase interface for
+//    external transports: the caller reads the round's actions and states,
+//    moves the messages through a real messaging layer (net/ serializes
+//    them as byte payloads through a bus slot), and hands back the filtered
+//    inboxes plus the sent/delivered logs. One instance = one stepper +
+//    one bus slot in the net-layer workload engine.
+//
+// Exchanges may opt into two engine fast paths:
+//
+//  * `X::kBroadcast` — µ is destination-independent, so the engine computes
+//    each sender's message once and fans it out. Exchanges without the
+//    marker get a correct per-destination µ loop instead (the seed engine
+//    silently assumed broadcast; see message() docs in exchange.hpp).
+//  * `BorrowedRoundExchange` — the exchange lets the engine move a
+//    snapshot of the mutable part of the state out as the round's
+//    broadcast and rebuild the next state from borrowed snapshots. E_fip
+//    uses this to eliminate its per-round message churn: the sender's
+//    graph is *moved* into the round pipeline, receivers merge it by
+//    const reference, and the sender copies it back only when the
+//    adversary actually delivered it to someone else (copy-on-write on
+//    delivery forks). No shared_ptr control blocks, no n² inbox of
+//    refcounted messages.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "exchange/exchange.hpp"
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+/// Exchanges whose µ is destination-independent declare
+/// `static constexpr bool kBroadcast = true`. The engine then computes one
+/// message per sender per round; for every other exchange it evaluates
+/// µ(s, a, dest) per destination, so a future non-broadcast exchange cannot
+/// silently inherit broadcast fan-out.
+template <class X>
+concept BroadcastExchange = requires {
+  { X::kBroadcast } -> std::convertible_to<bool>;
+} && bool(X::kBroadcast);
+
+/// Optional zero-copy round pipeline. An exchange models it by declaring
+/// a `Snapshot` type plus:
+///
+///   Snapshot take_snapshot(State&)        — move the broadcast-relevant
+///     part of the state out as this round's message-equivalent. The
+///     exchange must broadcast every round (µ never ⊥) for this path.
+///   std::size_t snapshot_bits(const Snapshot&) — Prop 8.1 accounting,
+///     equal to message_bits(µ(s, a, dest)) on the same state.
+///   void apply_round(State&, const Action&, Snapshot&& own, AgentSet
+///     received, std::span<const Snapshot* const> merged) — δ rebuilt from
+///     the agent's own snapshot (moved back, or a copy when the adversary
+///     forked delivery) and the delivered senders' snapshots, borrowed in
+///     ascending sender order. Must produce the same state as update() on
+///     the equivalent inbox (tests/test_workload.cpp enforces this).
+template <class X>
+concept BorrowedRoundExchange =
+    requires(const X x, typename X::State& s, const Action a, AgentSet rec) {
+      typename X::Snapshot;
+      { x.take_snapshot(s) } -> std::same_as<typename X::Snapshot>;
+      {
+        x.snapshot_bits(std::declval<const typename X::Snapshot&>())
+      } -> std::convertible_to<std::size_t>;
+      x.apply_round(s, a, std::declval<typename X::Snapshot>(), rec,
+                    std::span<const typename X::Snapshot* const>{});
+    };
+
+/// Opt-in observer of the in-place engine: receives the state vector at
+/// time 0 and after every completed round. `MaterializingSink` recovers the
+/// seed simulator's full `states[m][i]` history for tests and examples.
+template <ExchangeProtocol X>
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// `states[i]` is agent i's state at `time` (0 = initial).
+  virtual void on_states(int time,
+                         std::span<const typename X::State> states) = 0;
+};
+
+template <ExchangeProtocol X>
+class MaterializingSink final : public TraceSink<X> {
+ public:
+  void on_states(int /*time*/,
+                 std::span<const typename X::State> states) override {
+    states_.emplace_back(states.begin(), states.end());
+  }
+
+  /// states()[m][i]: agent i's state at time m, exactly as the seed
+  /// simulator materialized it.
+  [[nodiscard]] std::vector<std::vector<typename X::State>>& states() {
+    return states_;
+  }
+
+ private:
+  std::vector<std::vector<typename X::State>> states_;
+};
+
+struct StepperOptions {
+  int max_rounds = 0;                 ///< 0 = use t+4
+  bool stop_when_all_decided = true;  ///< stop early once every agent decided
+};
+
+template <ExchangeProtocol X, class P>
+class Stepper {
+ public:
+  using State = typename X::State;
+  using Message = typename X::Message;
+
+  /// `x` and `act` are borrowed and must outlive the stepper; the pattern
+  /// and preferences are copied so an instance owns its inputs (the
+  /// workload engine keeps thousands of steppers alive at once).
+  Stepper(const X& x, const P& act, FailurePattern alpha,
+          std::vector<Value> inits, int t, const StepperOptions& opt = {},
+          TraceSink<X>* sink = nullptr)
+      : x_(&x),
+        act_(&act),
+        alpha_(std::move(alpha)),
+        t_(t),
+        max_rounds_(opt.max_rounds > 0 ? opt.max_rounds : t + 4),
+        stop_when_all_decided_(opt.stop_when_all_decided),
+        sink_(sink),
+        n_(x.n()),
+        undecided_(x.n()),
+        decided_(static_cast<std::size_t>(x.n()), false) {
+    EBA_REQUIRE(alpha_.n() == n_, "pattern/exchange agent count mismatch");
+    EBA_REQUIRE(static_cast<int>(inits.size()) == n_, "inits size mismatch");
+    record_.n = n_;
+    record_.t = t_;
+    record_.inits = std::move(inits);
+    record_.nonfaulty = alpha_.nonfaulty();
+    states_.reserve(static_cast<std::size_t>(n_));
+    for (AgentId i = 0; i < n_; ++i)
+      states_.push_back(
+          x.initial_state(i, record_.inits[static_cast<std::size_t>(i)]));
+    if (sink_) sink_->on_states(0, states_);
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int t() const { return t_; }
+  /// Rounds completed so far (= the current time).
+  [[nodiscard]] int time() const { return time_; }
+  /// Running count of agents that have not yet decided; maintained
+  /// incrementally instead of rescanning all n agents every round.
+  [[nodiscard]] int undecided() const { return undecided_; }
+  [[nodiscard]] std::size_t bits_sent() const { return bits_sent_; }
+  [[nodiscard]] std::size_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] const std::vector<State>& states() const { return states_; }
+  [[nodiscard]] const FailurePattern& pattern() const { return alpha_; }
+
+  /// True when the instance will run no further round: the horizon is
+  /// exhausted or (under early stopping) every agent has decided.
+  [[nodiscard]] bool done() const {
+    if (in_round_) return false;
+    if (time_ >= max_rounds_) return true;
+    return stop_when_all_decided_ && undecided_ == 0;
+  }
+
+  /// Runs one full round in memory. Returns false (and does nothing) when
+  /// the instance is done.
+  bool step() {
+    const std::vector<Action>* actions = begin_round();
+    if (!actions) return false;
+    if constexpr (BorrowedRoundExchange<X>) {
+      borrowed_round(*actions);
+    } else {
+      generic_round(*actions);
+    }
+    end_round();
+    return true;
+  }
+
+  // -- Split-phase interface (external transports) --------------------------
+
+  /// Starts a round: computes every agent's action and the decide
+  /// bookkeeping. Returns nullptr when the instance is done. After a
+  /// non-null return the caller must complete the round with
+  /// finish_round() (or run_round_in_memory via step() is unavailable —
+  /// phases must not be mixed).
+  [[nodiscard]] const std::vector<Action>* begin_round() {
+    EBA_REQUIRE(!in_round_, "begin_round called twice without finish_round");
+    if (done()) return nullptr;
+    actions_.assign(static_cast<std::size_t>(n_), Action::noop());
+    for (AgentId i = 0; i < n_; ++i) {
+      const Action a = (*act_)(states_[static_cast<std::size_t>(i)]);
+      actions_[static_cast<std::size_t>(i)] = a;
+      if (a.is_decide() && !decided_[static_cast<std::size_t>(i)]) {
+        decided_[static_cast<std::size_t>(i)] = true;
+        --undecided_;
+      }
+    }
+    in_round_ = true;
+    return &actions_;
+  }
+
+  /// Completes a round whose messages were moved by an external transport:
+  /// applies δ with the filtered inboxes and appends the transport's
+  /// sent/delivered logs and accounting to the record.
+  void finish_round(
+      std::span<const std::vector<std::optional<Message>>> inbox,
+      std::vector<AgentSet> sent, std::vector<AgentSet> delivered,
+      std::size_t bits, std::size_t messages) {
+    EBA_REQUIRE(in_round_, "finish_round without begin_round");
+    EBA_REQUIRE(static_cast<int>(inbox.size()) == n_, "inbox size mismatch");
+    bits_sent_ += bits;
+    messages_sent_ += messages;
+    for (AgentId i = 0; i < n_; ++i)
+      x_->update(states_[static_cast<std::size_t>(i)],
+                 actions_[static_cast<std::size_t>(i)],
+                 std::span<const std::optional<Message>>(
+                     inbox[static_cast<std::size_t>(i)]));
+    record_.sent.push_back(std::move(sent));
+    record_.delivered.push_back(std::move(delivered));
+    end_round();
+  }
+
+  /// The record accumulated so far; `record().rounds` is kept in sync after
+  /// every completed round, so this is valid mid-run too.
+  [[nodiscard]] const RunRecord& record() const { return record_; }
+  [[nodiscard]] RunRecord take_record() {
+    EBA_REQUIRE(!in_round_, "take_record mid-round");
+    return std::move(record_);
+  }
+  [[nodiscard]] std::vector<State> take_states() {
+    EBA_REQUIRE(!in_round_, "take_states mid-round");
+    return std::move(states_);
+  }
+
+ private:
+  void end_round() {
+    record_.actions.push_back(std::move(actions_));
+    actions_.clear();
+    time_ += 1;
+    record_.rounds = time_;
+    in_round_ = false;
+    if (sink_) sink_->on_states(time_, states_);
+  }
+
+  /// §3 round, messages as values: µ per sender (once for broadcast
+  /// exchanges, per destination otherwise), adversary filtering, δ.
+  void generic_round(const std::vector<Action>& actions) {
+    const std::size_t un = static_cast<std::size_t>(n_);
+    std::vector<AgentSet> sent(un);
+    std::vector<AgentSet> delivered(un);
+    inbox_.assign(un, std::vector<std::optional<Message>>(un));
+
+    if constexpr (BroadcastExchange<X>) {
+      for (AgentId i = 0; i < n_; ++i) {
+        std::optional<Message> out = x_->message(
+            states_[static_cast<std::size_t>(i)],
+            actions[static_cast<std::size_t>(i)], /*dest=*/0);
+        if (!out) continue;
+        bits_sent_ +=
+            static_cast<std::size_t>(n_ - 1) * x_->message_bits(*out);
+        messages_sent_ += static_cast<std::size_t>(n_ - 1);
+        sent[static_cast<std::size_t>(i)] =
+            AgentSet::all(n_).minus(AgentSet{i});
+        for (AgentId j = 0; j < n_; ++j) {
+          if (!alpha_.delivered(time_, i, j)) continue;
+          inbox_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+              *out;
+          if (j != i) delivered[static_cast<std::size_t>(i)].insert(j);
+        }
+      }
+    } else {
+      // Per-destination µ: correct for exchanges that address receivers
+      // individually. Self-delivery of µ(s, a, self) always succeeds.
+      for (AgentId i = 0; i < n_; ++i) {
+        for (AgentId j = 0; j < n_; ++j) {
+          std::optional<Message> out = x_->message(
+              states_[static_cast<std::size_t>(i)],
+              actions[static_cast<std::size_t>(i)], /*dest=*/j);
+          if (!out) continue;
+          if (j != i) {
+            bits_sent_ += x_->message_bits(*out);
+            messages_sent_ += 1;
+            sent[static_cast<std::size_t>(i)].insert(j);
+          }
+          if (!alpha_.delivered(time_, i, j)) continue;
+          inbox_[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+              std::move(*out);
+          if (j != i) delivered[static_cast<std::size_t>(i)].insert(j);
+        }
+      }
+    }
+
+    for (AgentId i = 0; i < n_; ++i)
+      x_->update(states_[static_cast<std::size_t>(i)],
+                 actions[static_cast<std::size_t>(i)],
+                 std::span<const std::optional<Message>>(
+                     inbox_[static_cast<std::size_t>(i)]));
+    record_.sent.push_back(std::move(sent));
+    record_.delivered.push_back(std::move(delivered));
+  }
+
+  /// Zero-copy round for borrowed-round exchanges (E_fip): every agent's
+  /// snapshot is moved out once, receivers merge it by reference, and a
+  /// sender's own snapshot is moved back unless the adversary actually
+  /// delivered it to another agent (then the fork forces one copy).
+  void borrowed_round(const std::vector<Action>& actions)
+    requires BorrowedRoundExchange<X>
+  {
+    using Snapshot = typename X::Snapshot;
+    const std::size_t un = static_cast<std::size_t>(n_);
+    std::vector<AgentSet> sent(un);
+    std::vector<AgentSet> delivered(un);
+    std::vector<AgentSet> received(un);
+
+    std::vector<Snapshot> snaps;
+    snaps.reserve(un);
+    for (AgentId i = 0; i < n_; ++i)
+      snaps.push_back(x_->take_snapshot(states_[static_cast<std::size_t>(i)]));
+
+    for (AgentId i = 0; i < n_; ++i) {
+      bits_sent_ += static_cast<std::size_t>(n_ - 1) *
+                    x_->snapshot_bits(snaps[static_cast<std::size_t>(i)]);
+      messages_sent_ += static_cast<std::size_t>(n_ - 1);
+      sent[static_cast<std::size_t>(i)] = AgentSet::all(n_).minus(AgentSet{i});
+      for (AgentId j = 0; j < n_; ++j) {
+        if (!alpha_.delivered(time_, i, j)) continue;
+        received[static_cast<std::size_t>(j)].insert(i);
+        if (j != i) delivered[static_cast<std::size_t>(i)].insert(j);
+      }
+    }
+
+    std::vector<const Snapshot*> merged;
+    merged.reserve(un);
+    for (AgentId j = 0; j < n_; ++j) {
+      merged.clear();
+      for (AgentId i : received[static_cast<std::size_t>(j)])
+        if (i != j) merged.push_back(&snaps[static_cast<std::size_t>(i)]);
+      // Copy-on-write: only a snapshot the adversary delivered elsewhere
+      // must survive as a merge source; an unforked one is moved back.
+      Snapshot base =
+          delivered[static_cast<std::size_t>(j)].empty()
+              ? std::move(snaps[static_cast<std::size_t>(j)])
+              : snaps[static_cast<std::size_t>(j)];
+      x_->apply_round(states_[static_cast<std::size_t>(j)],
+                      actions[static_cast<std::size_t>(j)], std::move(base),
+                      received[static_cast<std::size_t>(j)],
+                      std::span<const Snapshot* const>(merged));
+    }
+    record_.sent.push_back(std::move(sent));
+    record_.delivered.push_back(std::move(delivered));
+  }
+
+  const X* x_;
+  const P* act_;
+  FailurePattern alpha_;
+  int t_;
+  int max_rounds_;
+  bool stop_when_all_decided_;
+  TraceSink<X>* sink_;
+  int n_;
+  int time_ = 0;
+  int undecided_;
+  bool in_round_ = false;
+  std::vector<bool> decided_;
+  std::vector<State> states_;
+  std::vector<Action> actions_;  ///< the in-flight round's actions
+  /// Reused across rounds to avoid an n² allocation per round.
+  std::vector<std::vector<std::optional<Message>>> inbox_;
+  RunRecord record_;
+  std::size_t bits_sent_ = 0;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace eba

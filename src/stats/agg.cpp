@@ -12,6 +12,23 @@ void Aggregate::add(double x) {
   sorted_ = false;
 }
 
+void Aggregate::add_all(std::span<const double> xs) {
+  if (xs.empty()) return;
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  if (&other == this) {
+    // Self-merge doubles the samples; copy first so add_all's insert
+    // cannot reallocate the range it is reading.
+    const std::vector<double> copy(samples_);
+    add_all(copy);
+    return;
+  }
+  add_all(other.samples_);
+}
+
 void Aggregate::ensure_sorted() const {
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace eba {
@@ -10,6 +11,13 @@ namespace eba {
 class Aggregate {
  public:
   void add(double x);
+  /// Adds a batch of samples (e.g. the per-instance latencies of one
+  /// workload) in one call.
+  void add_all(std::span<const double> xs);
+  /// Folds another aggregate's samples into this one; `other` is unchanged.
+  /// Used by the throughput bench to combine per-sweep-point latencies into
+  /// per-protocol summaries.
+  void merge(const Aggregate& other);
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double min() const;

@@ -84,12 +84,36 @@ TEST(RoundBusTest, BarrierDeliversAndFilters) {
   EXPECT_EQ(bus.delivered_log(0)[2], AgentSet{1});
 }
 
+TEST(RoundBusTest, LogsThrowUntilTheRoundCompletes) {
+  const int n = 2;
+  RoundBus bus(n, FailurePattern::failure_free(n));
+  // No round has completed yet: the logs must refuse, not return garbage.
+  EXPECT_THROW((void)bus.delivered_log(0), std::logic_error);
+  EXPECT_THROW((void)bus.sent_log(0), std::logic_error);
+  EXPECT_EQ(bus.completed_rounds(), 0);
+  RoundBus::RoundResult r0, r1;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(2);
+    threads.emplace_back([&] { r0 = bus.exchange(0, Bytes{1}, false); });
+    threads.emplace_back([&] { r1 = bus.exchange(1, Bytes{2}, false); });
+  }
+  EXPECT_EQ(bus.completed_rounds(), 1);
+  EXPECT_NO_THROW((void)bus.delivered_log(0));
+  EXPECT_NO_THROW((void)bus.sent_log(0));
+  // Round 1 has not completed: still out of bounds.
+  EXPECT_THROW((void)bus.delivered_log(1), std::logic_error);
+  EXPECT_THROW((void)bus.sent_log(1), std::logic_error);
+  EXPECT_THROW((void)bus.delivered_log(-1), std::logic_error);
+}
+
 TEST(RoundBusTest, AllDecidedFlagAggregates) {
   const int n = 2;
   RoundBus bus(n, FailurePattern::failure_free(n));
   RoundBus::RoundResult r0, r1;
   {
     std::vector<std::jthread> threads;
+    threads.reserve(2);
     threads.emplace_back([&] { r0 = bus.exchange(0, std::nullopt, true); });
     threads.emplace_back([&] { r1 = bus.exchange(1, std::nullopt, true); });
   }
@@ -145,6 +169,25 @@ TEST(ClusterTest, MatchesSimulatorPOptWithGraphPayloads) {
     const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
     const auto prefs = sample_preferences(n, rng);
     expect_cluster_matches_simulator(FipExchange(n), POpt(n, t), alpha, prefs, t);
+  }
+}
+
+TEST(ClusterTest, ThreadPerAgentMatchesSimulatorPOpt) {
+  // The legacy n-threads-per-run model, kept as the reference (and as the
+  // throughput-bench baseline), must still match the simulator.
+  const int n = 4;
+  const int t = 2;
+  Rng rng(34);
+  for (int k = 0; k < 3; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    const auto cluster =
+        run_cluster_thread_per_agent(FipExchange(n), POpt(n, t), alpha, prefs, t);
+    const auto sim = simulate(FipExchange(n), POpt(n, t), alpha, prefs, t);
+    ASSERT_EQ(cluster.record.rounds, sim.record.rounds);
+    EXPECT_EQ(cluster.record.actions, sim.record.actions);
+    EXPECT_EQ(cluster.record.delivered, sim.record.delivered);
+    EXPECT_EQ(cluster.record.sent, sim.record.sent);
   }
 }
 

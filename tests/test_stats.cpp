@@ -32,6 +32,28 @@ TEST(AggregateTest, AddAfterQueryResorts) {
   EXPECT_DOUBLE_EQ(a.min(), 5.0);
 }
 
+TEST(AggregateTest, MergeAndAddAllFoldSamples) {
+  Aggregate a;
+  a.add(1.0);
+  a.add(9.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);  // force a sort before mutating again
+  Aggregate b;
+  const double more[] = {3.0, 7.0};
+  b.add_all(more);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 3.0);
+  EXPECT_EQ(b.count(), 2u) << "merge leaves the source unchanged";
+  EXPECT_DOUBLE_EQ(b.min(), 3.0);
+  Aggregate empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  a.merge(a);  // self-merge doubles the samples, no iterator invalidation
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
 TEST(AggregateTest, EmptyThrows) {
   Aggregate a;
   EXPECT_THROW((void)a.mean(), std::logic_error);

@@ -1,0 +1,322 @@
+// Equivalence suite for the instance-oriented run engine.
+//
+// The refactor's correctness oracle is RunRecord equality: the in-place
+// Stepper behind simulate(), the opt-in trace-sink materialization, the
+// single-instance run_cluster wrapper, the legacy thread-per-agent cluster,
+// and the many-instance worker-pool workload must all reproduce the seed
+// simulator's semantics (tests/reference_simulator.hpp, kept verbatim)
+// for seeded (pattern, preferences) sweeps across P_min / P_basic / P_opt —
+// including the early-decide and max_rounds-truncation edges.
+#include <gtest/gtest.h>
+
+#include "action/p_basic.hpp"
+#include "action/p_min.hpp"
+#include "action/p_opt.hpp"
+#include "core/spec.hpp"
+#include "failure/generators.hpp"
+#include "net/cluster.hpp"
+#include "net/workload.hpp"
+#include "reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stepper.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+namespace {
+
+void expect_records_equal(const RunRecord& got, const RunRecord& want,
+                          const std::string& what) {
+  EXPECT_EQ(got.n, want.n) << what;
+  EXPECT_EQ(got.t, want.t) << what;
+  ASSERT_EQ(got.rounds, want.rounds) << what;
+  EXPECT_EQ(got.inits, want.inits) << what;
+  EXPECT_EQ(got.nonfaulty, want.nonfaulty) << what;
+  EXPECT_EQ(got.actions, want.actions) << what;
+  EXPECT_EQ(got.sent, want.sent) << what;
+  EXPECT_EQ(got.delivered, want.delivered) << what;
+}
+
+template <class X, class P>
+void expect_engine_matches_reference(const X& x, const P& p,
+                                     const FailurePattern& alpha,
+                                     const std::vector<Value>& inits, int t,
+                                     const SimulateOptions& opt,
+                                     const std::string& what) {
+  const auto want = testing::reference_simulate(x, p, alpha, inits, t, opt);
+
+  // simulate(): Stepper + MaterializingSink, byte-compatible Run<X>.
+  const auto got = simulate(x, p, alpha, inits, t, opt);
+  expect_records_equal(got.record, want.record, what + " [simulate]");
+  EXPECT_EQ(got.bits_sent, want.bits_sent) << what;
+  EXPECT_EQ(got.messages_sent, want.messages_sent) << what;
+  ASSERT_EQ(got.states.size(), want.states.size()) << what;
+  for (std::size_t m = 0; m < want.states.size(); ++m)
+    EXPECT_EQ(got.states[m], want.states[m]) << what << " states at time " << m;
+
+  // A bare Stepper (no sink): identical record, identical final states.
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+  sopt.stop_when_all_decided = opt.stop_when_all_decided;
+  Stepper<X, P> stepper(x, p, alpha, inits, t, sopt);
+  while (stepper.step()) {
+  }
+  EXPECT_EQ(stepper.bits_sent(), want.bits_sent) << what;
+  EXPECT_EQ(stepper.messages_sent(), want.messages_sent) << what;
+  expect_records_equal(stepper.record(), want.record, what + " [stepper]");
+  EXPECT_EQ(stepper.states(), want.states.back()) << what << " final states";
+}
+
+template <class MakeX, class MakeP>
+void sweep_protocol(MakeX make_x, MakeP make_p, int n, int t,
+                    std::uint64_t seed, int iterations,
+                    const std::string& name) {
+  const auto x = make_x(n);
+  const auto p = make_p(n, t);
+  Rng rng(seed);
+  for (int k = 0; k < iterations; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    const std::string what = name + " seed=" + std::to_string(seed) +
+                             " iter=" + std::to_string(k);
+    // Default early-stopping semantics.
+    expect_engine_matches_reference(x, p, alpha, prefs, t, SimulateOptions{},
+                                    what);
+    // max_rounds truncation: a horizon so short runs are cut mid-protocol.
+    SimulateOptions truncated;
+    truncated.max_rounds = 2;
+    expect_engine_matches_reference(x, p, alpha, prefs, t, truncated,
+                                    what + " truncated");
+    // No early stop: the run must cover the whole horizon even after
+    // every agent decided.
+    SimulateOptions full;
+    full.max_rounds = t + 3;
+    full.stop_when_all_decided = false;
+    expect_engine_matches_reference(x, p, alpha, prefs, t, full,
+                                    what + " no-early-stop");
+  }
+}
+
+TEST(StepperEquivalence, PMinMatchesSeedSemantics) {
+  sweep_protocol([](int n) { return MinExchange(n); },
+                 [](int n, int t) { return PMin(n, t); }, 5, 2, 101, 12,
+                 "P_min");
+}
+
+TEST(StepperEquivalence, PBasicMatchesSeedSemantics) {
+  sweep_protocol([](int n) { return BasicExchange(n); },
+                 [](int n, int t) { return PBasic(n, t); }, 5, 2, 102, 12,
+                 "P_basic");
+}
+
+TEST(StepperEquivalence, POptMatchesSeedSemantics) {
+  // Exercises the borrowed-round fast path (graphs moved through the round
+  // pipeline, copy-on-write on delivery forks) against the seed's
+  // shared_ptr message semantics.
+  sweep_protocol([](int n) { return FipExchange(n); },
+                 [](int n, int t) { return POpt(n, t); }, 4, 2, 103, 8,
+                 "P_opt");
+}
+
+TEST(StepperEquivalence, EarlyDecideStopsLikeSeed) {
+  // Failure-free with a zero preference: everyone decides 0 in round 1 and
+  // the early-stop kicks in identically (the Stepper's running undecided
+  // counter vs the seed's per-round rescan).
+  const int n = 6;
+  const int t = 2;
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  prefs[0] = Value::zero;
+  expect_engine_matches_reference(MinExchange(n), PMin(n, t),
+                                  FailurePattern::failure_free(n), prefs, t,
+                                  SimulateOptions{}, "early-decide");
+}
+
+TEST(StepperTest, UndecidedCounterTracksDecisions) {
+  const int n = 4;
+  const int t = 2;
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  prefs[0] = Value::zero;
+  Stepper<MinExchange, PMin> stepper(MinExchange(n), PMin(n, t),
+                                     FailurePattern::failure_free(n), prefs,
+                                     t);
+  EXPECT_EQ(stepper.undecided(), n);
+  ASSERT_TRUE(stepper.step());  // round 1: agent 0 decides 0, announces
+  EXPECT_EQ(stepper.undecided(), n - 1);
+  ASSERT_TRUE(stepper.step());  // round 2: everyone else hears and decides
+  EXPECT_EQ(stepper.undecided(), 0);
+  EXPECT_TRUE(stepper.done());
+  EXPECT_FALSE(stepper.step());
+}
+
+TEST(StepperTest, TraceSinkSeesEveryTime) {
+  const int n = 4;
+  const int t = 1;
+  MaterializingSink<MinExchange> sink;
+  StepperOptions opt;
+  opt.max_rounds = 3;
+  opt.stop_when_all_decided = false;
+  Stepper<MinExchange, PMin> stepper(
+      MinExchange(n), PMin(n, t), FailurePattern::failure_free(n),
+      std::vector<Value>(static_cast<std::size_t>(n), Value::one), t, opt,
+      &sink);
+  while (stepper.step()) {
+  }
+  ASSERT_EQ(sink.states().size(), 4u) << "times 0..3";
+  for (const auto& states : sink.states())
+    EXPECT_EQ(states.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(sink.states().back(), stepper.states());
+}
+
+TEST(BusPoolTest, AcquireReleaseAndExhaustion) {
+  BusPool pool(2);
+  EXPECT_EQ(pool.capacity(), 2u);
+  const auto a = pool.acquire(FailurePattern::failure_free(3));
+  const auto b = pool.acquire(FailurePattern::failure_free(3));
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_THROW((void)pool.acquire(FailurePattern::failure_free(3)),
+               std::logic_error);
+  pool.release(a);
+  EXPECT_EQ(pool.in_use(), 1u);
+  const auto c = pool.acquire(FailurePattern::failure_free(4));
+  EXPECT_EQ(pool.in_use(), 2u);
+  pool.release(b);
+  pool.release(c);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_THROW(pool.release(c), std::logic_error) << "double release";
+}
+
+TEST(BusPoolTest, ExchangeRoundFiltersLikeThePattern) {
+  const int n = 3;
+  FailurePattern alpha(n, AgentSet{0, 1});
+  alpha.drop(0, 2, 0);
+  BusPool pool(1);
+  const auto slot = pool.acquire(alpha);
+
+  std::vector<std::optional<Bytes>> outbox;
+  for (AgentId i = 0; i < n; ++i)
+    outbox.push_back(Bytes{static_cast<std::uint8_t>(i)});
+  const auto res = pool.exchange_round(slot, std::move(outbox));
+  EXPECT_EQ(res.round, 0);
+  EXPECT_FALSE(res.inbox[0][2].has_value()) << "dropped by the adversary";
+  EXPECT_TRUE(res.inbox[1][2].has_value());
+  EXPECT_TRUE(res.inbox[2][2].has_value()) << "self-delivery";
+  EXPECT_EQ((*res.inbox[1][2])[0], 2);
+  EXPECT_EQ(res.sent[2], (AgentSet{0, 1}));
+  EXPECT_EQ(res.delivered[2], AgentSet{1});
+  EXPECT_EQ(pool.completed_rounds(slot), 1);
+
+  // ⊥ payloads are not delivered anywhere.
+  std::vector<std::optional<Bytes>> silent(static_cast<std::size_t>(n));
+  const auto res2 = pool.exchange_round(slot, std::move(silent));
+  EXPECT_EQ(res2.round, 1);
+  for (AgentId to = 0; to < n; ++to)
+    for (AgentId from = 0; from < n; ++from)
+      EXPECT_FALSE(res2.inbox[static_cast<std::size_t>(to)]
+                             [static_cast<std::size_t>(from)]
+                                 .has_value());
+  pool.release(slot);
+}
+
+template <class X, class P>
+std::vector<InstanceSpec> seeded_specs(const X& x, int t, int count,
+                                       std::uint64_t seed) {
+  std::vector<InstanceSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  Rng rng(seed);
+  for (int k = 0; k < count; ++k)
+    specs.push_back({sample_adversary(x.n(), t, t + 2, 0.4, rng),
+                     sample_preferences(x.n(), rng)});
+  return specs;
+}
+
+template <class X, class P>
+void expect_workload_matches_reference(const X& x, const P& p, int t,
+                                       int count, std::uint64_t seed,
+                                       int workers,
+                                       const std::string& name) {
+  const auto specs = seeded_specs<X, P>(x, t, count, seed);
+  WorkloadOptions opt;
+  opt.workers = workers;
+  const auto result = run_workload(x, p, std::span(specs), t, opt);
+  ASSERT_EQ(result.instances.size(), specs.size());
+  ASSERT_EQ(result.latency_us.size(), specs.size());
+  EXPECT_EQ(result.concurrent_instances, specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    const auto want = testing::reference_simulate(
+        x, p, specs[k].alpha, specs[k].inits, t, SimulateOptions{});
+    expect_records_equal(result.instances[k].record, want.record,
+                         name + " instance " + std::to_string(k));
+    EXPECT_EQ(result.instances[k].final_states, want.states.back())
+        << name << " instance " << k;
+    EXPECT_GT(result.latency_us[k], 0.0) << name << " instance " << k;
+    EXPECT_TRUE(check_eba(result.instances[k].record).ok())
+        << name << " instance " << k;
+  }
+}
+
+TEST(WorkloadTest, WorkerPoolMatchesReferencePMin) {
+  expect_workload_matches_reference(MinExchange(5), PMin(5, 2), 2, 48, 201, 4,
+                                    "P_min");
+}
+
+TEST(WorkloadTest, WorkerPoolMatchesReferencePBasic) {
+  expect_workload_matches_reference(BasicExchange(5), PBasic(5, 2), 2, 48,
+                                    202, 4, "P_basic");
+}
+
+TEST(WorkloadTest, WorkerPoolMatchesReferencePOptOverTheWire) {
+  expect_workload_matches_reference(FipExchange(4), POpt(4, 2), 2, 24, 203, 4,
+                                    "P_opt");
+}
+
+TEST(WorkloadTest, SingleWorkerMatchesManyWorkers) {
+  const FipExchange x(4);
+  const POpt p(4, 2);
+  const auto specs = seeded_specs<FipExchange, POpt>(x, 2, 16, 204);
+  WorkloadOptions one;
+  one.workers = 1;
+  WorkloadOptions many;
+  many.workers = 4;
+  const auto a = run_workload(x, p, std::span(specs), 2, one);
+  const auto b = run_workload(x, p, std::span(specs), 2, many);
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    expect_records_equal(a.instances[k].record, b.instances[k].record,
+                         "instance " + std::to_string(k));
+    EXPECT_EQ(a.instances[k].final_states, b.instances[k].final_states);
+  }
+}
+
+TEST(WorkloadTest, MaxRoundsTruncatesEveryInstance) {
+  const MinExchange x(4);
+  const PMin p(4, 2);
+  // All-ones preferences, failure-free: P_min normally decides in round
+  // t+2; a horizon of 1 truncates it.
+  std::vector<InstanceSpec> specs(
+      8, {FailurePattern::failure_free(4),
+          std::vector<Value>(4, Value::one)});
+  WorkloadOptions opt;
+  opt.workers = 3;
+  opt.max_rounds = 1;
+  const auto result = run_workload(x, p, std::span(specs), 2, opt);
+  for (const auto& inst : result.instances) EXPECT_EQ(inst.record.rounds, 1);
+}
+
+TEST(ClusterWrapperTest, RunClusterEqualsThreadPerAgent) {
+  // The new single-instance wrapper and the legacy thread-per-agent model
+  // must agree record-for-record (both are also pinned against simulate()
+  // in test_net.cpp).
+  Rng rng(205);
+  for (int k = 0; k < 5; ++k) {
+    const auto alpha = sample_adversary(4, 2, 4, 0.4, rng);
+    const auto prefs = sample_preferences(4, rng);
+    const auto pooled = run_cluster(FipExchange(4), POpt(4, 2), alpha, prefs, 2);
+    const auto threaded = run_cluster_thread_per_agent(FipExchange(4),
+                                                       POpt(4, 2), alpha,
+                                                       prefs, 2);
+    expect_records_equal(pooled.record, threaded.record,
+                         "iter " + std::to_string(k));
+    EXPECT_EQ(pooled.final_states, threaded.final_states);
+  }
+}
+
+}  // namespace
+}  // namespace eba
