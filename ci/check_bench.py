@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Perf regression gate for the P_opt hot-path and throughput benchmarks.
+"""Perf regression gate for the P_opt hot-path, throughput and synthesis
+benchmarks.
 
 Compares a freshly produced google-benchmark JSON report (bench_perf →
 BENCH_perf.json) against the committed baseline and fails if any gated
@@ -9,7 +10,12 @@ supplied (bench_throughput → BENCH_throughput.json), the gate additionally
 fails if the headline aggregate decided-instances/sec fell below
 baseline/max-ratio, if the worker pool lost its >=5x edge over the
 sequential thread-per-agent cluster, or if fewer concurrent instances
-completed than the baseline admitted.
+completed than the baseline admitted. When synthesis reports are supplied
+(bench_synthesis → BENCH_synthesis.json), it fails if the optimized
+synthesizer's headline wall time regressed >max-ratio against the committed
+baseline, if its same-machine speedup over the pre-optimization synthesizer
+fell below the minimum (5x), or if any synthesis point's decisions diverged
+from its reference.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -23,7 +29,9 @@ Usage:
   ci/check_bench.py --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json \
       [--baseline-throughput BENCH_throughput.json] \
       [--fresh-throughput fresh/BENCH_throughput.json] \
-      [--max-ratio 2.0] [--min-speedup 5.0]
+      [--baseline-synthesis BENCH_synthesis.json] \
+      [--fresh-synthesis fresh/BENCH_synthesis.json] \
+      [--max-ratio 2.0] [--min-speedup 5.0] [--min-synthesis-speedup 5.0]
 """
 
 import argparse
@@ -102,6 +110,44 @@ def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
             f"cluster (minimum {min_speedup}x)")
 
 
+def check_synthesis(baseline_path, fresh_path, max_ratio, min_speedup,
+                    failures):
+    """Gates the headline of BENCH_synthesis.json."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+
+    base_s = float(baseline["headline"]["optimized_seconds"])
+    fresh_s = float(fresh["headline"]["optimized_seconds"])
+    ratio = fresh_s / base_s if base_s > 0 else float("inf")
+    flag = " <-- REGRESSION" if ratio > max_ratio else ""
+    print(f"{'synthesis headline':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
+          f"{ratio:>7.2f}x{flag}")
+    if ratio > max_ratio:
+        failures.append(
+            f"synthesis headline: {fresh_s:.4f}s vs baseline {base_s:.4f}s "
+            f"({ratio:.2f}x slower > {max_ratio}x)")
+
+    # Same-machine ratio, immune to runner speed: the optimized synthesizer
+    # must stay >= min_speedup over the options-off (pre-PR) synthesizer on
+    # the n=4 full-enumeration config.
+    speedup = fresh["headline"]["speedup"]
+    speedup_cell = f"{float(speedup):.2f}x" if speedup is not None else "null"
+    print(f"{'synthesis vs pre-PR':<24} {'(min ' + str(min_speedup) + 'x)':>12} "
+          f"{speedup_cell:>11}")
+    if speedup is None or float(speedup) < min_speedup:
+        failures.append(
+            f"optimized synthesizer only {speedup}x the pre-optimization "
+            f"baseline (minimum {min_speedup}x)")
+
+    for point in fresh.get("points", []):
+        if not point.get("decisions_match", False):
+            failures.append(
+                f"synthesis point {point.get('label')}: decisions diverge "
+                f"from the reference protocol")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -112,11 +158,18 @@ def main():
                         help="committed BENCH_throughput.json")
     parser.add_argument("--fresh-throughput",
                         help="freshly generated BENCH_throughput.json")
+    parser.add_argument("--baseline-synthesis",
+                        help="committed BENCH_synthesis.json")
+    parser.add_argument("--fresh-synthesis",
+                        help="freshly generated BENCH_synthesis.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
                         help="minimum worker-pool speedup over the "
                              "thread-per-agent baseline (default 5)")
+    parser.add_argument("--min-synthesis-speedup", type=float, default=5.0,
+                        help="minimum optimized-synthesizer speedup over the "
+                             "pre-optimization synthesizer (default 5)")
     args = parser.parse_args()
 
     baseline = load_times(args.baseline)
@@ -159,6 +212,13 @@ def main():
     elif args.baseline_throughput:
         check_throughput(args.baseline_throughput, args.fresh_throughput,
                          args.max_ratio, args.min_speedup, failures)
+
+    if bool(args.baseline_synthesis) != bool(args.fresh_synthesis):
+        failures.append("--baseline-synthesis and --fresh-synthesis must "
+                        "be passed together")
+    elif args.baseline_synthesis:
+        check_synthesis(args.baseline_synthesis, args.fresh_synthesis,
+                        args.max_ratio, args.min_synthesis_speedup, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

@@ -59,6 +59,22 @@ else()
   message(WARNING "bench_throughput binary not found; BENCH_throughput.json not refreshed")
 endif()
 
+# --- bench_synthesis: emits its own JSON on stdout ---------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_synthesis)
+  message(STATUS "Running bench_synthesis (KBP synthesizer, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_synthesis
+    RESULT_VARIABLE syn_rc
+    OUTPUT_VARIABLE syn_out
+    ERROR_VARIABLE syn_err)
+  if(NOT syn_rc EQUAL 0)
+    message(FATAL_ERROR "bench_synthesis failed (rc=${syn_rc}):\n${syn_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_synthesis.json "${syn_out}")
+else()
+  message(WARNING "bench_synthesis binary not found; BENCH_synthesis.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

@@ -1,0 +1,72 @@
+#include "failure/adversary_iter.hpp"
+
+namespace eba {
+
+AdversaryIterator::AdversaryIterator(const EnumerationConfig& cfg)
+    : cfg_(cfg), current_(cfg.n >= 1 ? cfg.n : 1, AgentSet{}) {
+  EBA_REQUIRE(cfg.n >= 1 && cfg.n <= kMaxAgents, "agent count out of range");
+  EBA_REQUIRE(cfg.t >= 0 && cfg.t < cfg.n, "need 0 <= t < n");
+  EBA_REQUIRE(cfg.rounds >= 0, "negative round prefix");
+  start_faulty_set();
+}
+
+void AdversaryIterator::start_faulty_set() {
+  idx_.assign(static_cast<std::size_t>(k_), 0);
+  for (int i = 0; i < k_; ++i) idx_[static_cast<std::size_t>(i)] = i;
+  faulty_ = AgentSet{};
+  for (AgentId i : idx_) faulty_.insert(i);
+  allowed_.assign(static_cast<std::size_t>(k_), 0);
+  for (int s = 0; s < k_; ++s)
+    allowed_[static_cast<std::size_t>(s)] =
+        AgentSet::all(cfg_.n)
+            .minus(AgentSet{idx_[static_cast<std::size_t>(s)]})
+            .bits();
+  words_.assign(static_cast<std::size_t>(k_) *
+                    static_cast<std::size_t>(cfg_.rounds),
+                0);
+}
+
+bool AdversaryIterator::advance_within_k() {
+  if (detail::advance_drop_words(words_, allowed_, k_)) return true;
+  // All drop words wrapped: advance the faulty set (combination walk).
+  if (!detail::next_combination(idx_, cfg_.n)) return false;
+  faulty_ = AgentSet{};
+  for (AgentId i : idx_) faulty_.insert(i);
+  for (int s = 0; s < k_; ++s)
+    allowed_[static_cast<std::size_t>(s)] =
+        AgentSet::all(cfg_.n)
+            .minus(AgentSet{idx_[static_cast<std::size_t>(s)]})
+            .bits();
+  for (auto& w : words_) w = 0;
+  return true;
+}
+
+void AdversaryIterator::materialize() {
+  current_ = FailurePattern(cfg_.n, faulty_.complement(cfg_.n));
+  for (int m = 0; m < cfg_.rounds; ++m)
+    for (int s = 0; s < k_; ++s) {
+      const AgentId from = idx_[static_cast<std::size_t>(s)];
+      const AgentSet dropped(
+          words_[static_cast<std::size_t>(m) * static_cast<std::size_t>(k_) +
+                 static_cast<std::size_t>(s)]);
+      for (AgentId to : dropped) current_.drop(m, from, to);
+    }
+}
+
+const FailurePattern* AdversaryIterator::next() {
+  if (done_) return nullptr;
+  if (!fresh_k_ && !advance_within_k()) {
+    ++k_;
+    if (k_ > cfg_.t) {
+      done_ = true;
+      return nullptr;
+    }
+    start_faulty_set();
+  }
+  fresh_k_ = false;
+  materialize();
+  ++yielded_;
+  return &current_;
+}
+
+}  // namespace eba

@@ -1,0 +1,106 @@
+// Lazy enumeration of the SO(t) adversary space.
+//
+// The seed enumerator packed the whole drop tensor of a pattern into one
+// `uint64_t` counter, which capped exhaustive enumeration at 48 drop bits
+// (n = 4 in practice). `AdversaryIterator` replaces the single counter with
+// one drop *word* per (round, faulty sender) — a receiver mask cycled with
+// the subset trick `next = (cur - allowed) & allowed` — chained little-endian
+// like a multi-digit counter. The visiting order is identical to the seed's
+// (faulty-set sizes ascending, faulty sets in combination order, drop bits
+// counting up with (round 0, first faulty sender, first receiver slot) least
+// significant), there is no ceiling on the total number of drop bits, and a
+// pattern only ever exists one at a time, so early-stopping consumers pay
+// for exactly what they visit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "failure/pattern.hpp"
+
+namespace eba {
+namespace detail {
+
+/// Advances `idx` to the next |idx|-combination of {0..n-1} in the standard
+/// combination order; false when exhausted. Shared by the lazy iterator and
+/// the orbit expansion so the enumeration order is defined in one place.
+inline bool next_combination(std::vector<AgentId>& idx, int n) {
+  const int k = static_cast<int>(idx.size());
+  int pos = k - 1;
+  while (pos >= 0 && idx[static_cast<std::size_t>(pos)] == n - k + pos) --pos;
+  if (pos < 0) return false;
+  ++idx[static_cast<std::size_t>(pos)];
+  for (int j = pos + 1; j < k; ++j)
+    idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+  return true;
+}
+
+/// Advances the little-endian chain of per-(round, sender) drop words: word
+/// w cycles through the subsets of allowed[w % k] in compressed-counter
+/// order via (cur - allowed) & allowed, and a wrap back to 0 carries into
+/// word w+1. Returns false when every word wrapped (the chain is exhausted).
+inline bool advance_drop_words(std::vector<std::uint64_t>& words,
+                               const std::vector<std::uint64_t>& allowed,
+                               int k) {
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    const std::uint64_t a =
+        allowed[w % static_cast<std::size_t>(k > 0 ? k : 1)];
+    words[w] = (words[w] - a) & a;
+    if (words[w] != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Parameters for exhaustive enumeration. `rounds` bounds the prefix in
+/// which drops may occur; later rounds are failure-free. The number of
+/// patterns is sum over faulty sets F of 2^(|F| * (n-1) * rounds) — there is
+/// no hard ceiling, but a non-early-stopping walk of a large config simply
+/// never terminates, so keep n, t and rounds small (or consume the
+/// symmetry-reduced enumeration in failure/canonical.hpp).
+struct EnumerationConfig {
+  int n = 3;
+  int t = 1;
+  int rounds = 2;
+};
+
+/// Lazy iterator over every SO(t) failure pattern with drops confined to the
+/// first `rounds` rounds.
+///
+///   AdversaryIterator it(cfg);
+///   while (const FailurePattern* p = it.next()) consume(*p);
+class AdversaryIterator {
+ public:
+  explicit AdversaryIterator(const EnumerationConfig& cfg);
+
+  /// Advances to the next pattern. The returned pointer is owned by the
+  /// iterator and valid until the next call; nullptr means exhausted.
+  [[nodiscard]] const FailurePattern* next();
+
+  /// Patterns yielded so far.
+  [[nodiscard]] std::uint64_t yielded() const { return yielded_; }
+
+ private:
+  /// Starts the walk of drop words for the current faulty set.
+  void start_faulty_set();
+  /// Advances the (faulty set, drop words) state; false when k is exhausted.
+  [[nodiscard]] bool advance_within_k();
+  /// Builds current_ from faulty_ and words_.
+  void materialize();
+
+  EnumerationConfig cfg_;
+  int k_ = 0;                    ///< current faulty-set size
+  bool fresh_k_ = true;          ///< next() must emit the first pattern of k_
+  bool done_ = false;
+  std::vector<AgentId> idx_;     ///< combination walk over faulty sets
+  AgentSet faulty_;
+  /// words_[m * k + s] = receiver mask dropped by the s-th faulty agent in
+  /// round m+1; allowed_[s] = all agents except that sender.
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> allowed_;
+  FailurePattern current_;
+  std::uint64_t yielded_ = 0;
+};
+
+}  // namespace eba

@@ -1,0 +1,414 @@
+#include "failure/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eba {
+namespace {
+
+/// The stabilizer S_k × S_{n-k} of the canonical faulty set {0..k-1}:
+/// every permutation of agent ids mapping {0..k-1} onto itself, as forward
+/// maps plus their inverses. perms[0] is the identity.
+struct Subgroup {
+  std::vector<std::vector<AgentId>> perms;
+  std::vector<std::vector<AgentId>> invs;
+};
+
+Subgroup make_subgroup(int n, int k) {
+  EBA_REQUIRE(n >= 1 && n <= kMaxCanonicalAgents,
+              "canonicalization is factorial in n; raise kMaxCanonicalAgents "
+              "only with care");
+  EBA_REQUIRE(k >= 0 && k <= n, "bad faulty-set size");
+  std::vector<AgentId> fa(static_cast<std::size_t>(k));
+  std::vector<AgentId> nf(static_cast<std::size_t>(n - k));
+  std::iota(fa.begin(), fa.end(), 0);
+  std::iota(nf.begin(), nf.end(), k);
+  Subgroup g;
+  std::vector<AgentId> fa0 = fa;
+  do {
+    std::vector<AgentId> nf0 = nf;
+    do {
+      std::vector<AgentId> perm(static_cast<std::size_t>(n));
+      for (int i = 0; i < k; ++i)
+        perm[static_cast<std::size_t>(i)] = fa0[static_cast<std::size_t>(i)];
+      for (int i = k; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] =
+            nf0[static_cast<std::size_t>(i - k)];
+      std::vector<AgentId> inv(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+      g.perms.push_back(std::move(perm));
+      g.invs.push_back(std::move(inv));
+    } while (std::next_permutation(nf0.begin(), nf0.end()));
+  } while (std::next_permutation(fa0.begin(), fa0.end()));
+  return g;
+}
+
+std::uint64_t permute_bits(std::uint64_t mask,
+                           const std::vector<AgentId>& perm) {
+  std::uint64_t out = 0;
+  for (AgentId i : AgentSet(mask))
+    out |= std::uint64_t{1} << perm[static_cast<std::size_t>(i)];
+  return out;
+}
+
+/// A fixed-partition drop tensor: faulty senders are {0..k-1} and
+/// words[m * k + s] is the receiver mask dropped by sender s in round m+1.
+struct Slice {
+  int n = 0;
+  int k = 0;
+  int rounds = 0;
+  std::vector<std::uint64_t> words;
+};
+
+Slice slice_of(const FailurePattern& p) {
+  Slice s;
+  s.n = p.n();
+  s.k = p.num_faulty();
+  s.rounds = p.recorded_rounds();
+  s.words.assign(static_cast<std::size_t>(s.k) *
+                     static_cast<std::size_t>(s.rounds),
+                 0);
+  // Relabel faulty agents to {0..k-1} and nonfaulty to {k..n-1}, both in
+  // ascending id order (any coset choice works: the subgroup min below is
+  // invariant under it).
+  std::vector<AgentId> map(static_cast<std::size_t>(s.n));
+  std::vector<AgentId> senders;
+  int next_f = 0;
+  int next_n = s.k;
+  for (AgentId i = 0; i < s.n; ++i) {
+    if (p.is_nonfaulty(i)) {
+      map[static_cast<std::size_t>(i)] = next_n++;
+    } else {
+      map[static_cast<std::size_t>(i)] = next_f++;
+      senders.push_back(i);
+    }
+  }
+  for (int m = 0; m < s.rounds; ++m)
+    for (std::size_t j = 0; j < senders.size(); ++j)
+      s.words[static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k) +
+              static_cast<std::size_t>(
+                  map[static_cast<std::size_t>(senders[j])])] =
+          permute_bits(p.dropped(m, senders[j]).bits(), map);
+  return s;
+}
+
+/// Lexicographic comparison (round-major, sender-ascending) of the image of
+/// `s.words` under (perm, inv) against `s.words` itself, generated lazily
+/// with early exit. Returns -1 / 0 / +1.
+int compare_image(const Slice& s, const std::vector<AgentId>& perm,
+                  const std::vector<AgentId>& inv) {
+  for (int m = 0; m < s.rounds; ++m) {
+    const std::size_t row =
+        static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
+    for (int out = 0; out < s.k; ++out) {
+      const std::uint64_t img = permute_bits(
+          s.words[row + static_cast<std::size_t>(
+                            inv[static_cast<std::size_t>(out)])],
+          perm);
+      const std::uint64_t ref = s.words[row + static_cast<std::size_t>(out)];
+      if (img != ref) return img < ref ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+/// One pass over the group: the stabilizer size if the slice is canonical
+/// (lexicographically minimal under g), or nullopt as soon as some image is
+/// strictly smaller.
+std::optional<std::uint64_t> slice_canonical_stabilizer(const Slice& s,
+                                                        const Subgroup& g) {
+  std::uint64_t stab = 1;  // identity
+  for (std::size_t gi = 1; gi < g.perms.size(); ++gi) {
+    const int order = compare_image(s, g.perms[gi], g.invs[gi]);
+    if (order < 0) return std::nullopt;
+    if (order == 0) ++stab;
+  }
+  return stab;
+}
+
+bool slice_is_canonical(const Slice& s, const Subgroup& g) {
+  for (std::size_t gi = 1; gi < g.perms.size(); ++gi)
+    if (compare_image(s, g.perms[gi], g.invs[gi]) < 0) return false;
+  return true;
+}
+
+std::uint64_t slice_stabilizer(const Slice& s, const Subgroup& g) {
+  std::uint64_t stab = 1;  // identity
+  for (std::size_t gi = 1; gi < g.perms.size(); ++gi)
+    if (compare_image(s, g.perms[gi], g.invs[gi]) == 0) ++stab;
+  return stab;
+}
+
+std::uint64_t choose(int n, int k) {
+  std::uint64_t c = 1;
+  for (int i = 0; i < k; ++i)
+    c = c * static_cast<std::uint64_t>(n - i) /
+        static_cast<std::uint64_t>(i + 1);
+  return c;
+}
+
+/// Multiplicity of the orbit of the pattern behind `s`:
+/// C(n, k) faulty sets × |subgroup| / |stabilizer| tensors per faulty set.
+std::uint64_t slice_multiplicity(const Slice& s, const Subgroup& g) {
+  return choose(s.n, s.k) *
+         (static_cast<std::uint64_t>(g.perms.size()) /
+          slice_stabilizer(s, g));
+}
+
+FailurePattern pattern_of_slice(int n, int k, int rounds,
+                                const std::vector<std::uint64_t>& words) {
+  AgentSet faulty;
+  for (AgentId i = 0; i < k; ++i) faulty.insert(i);
+  FailurePattern p(n, faulty.complement(n));
+  for (int m = 0; m < rounds; ++m)
+    for (int s = 0; s < k; ++s)
+      for (AgentId to :
+           AgentSet(words[static_cast<std::size_t>(m) *
+                              static_cast<std::size_t>(k) +
+                          static_cast<std::size_t>(s)]))
+        p.drop(m, s, to);
+  return p;
+}
+
+constexpr unsigned __int128 kU128Max = ~static_cast<unsigned __int128>(0);
+
+}  // namespace
+
+FailurePattern relabeled(const FailurePattern& p,
+                         const std::vector<AgentId>& perm) {
+  const int n = p.n();
+  EBA_REQUIRE(static_cast<int>(perm.size()) == n, "permutation size mismatch");
+  FailurePattern out(n, AgentSet(permute_bits(p.nonfaulty().bits(), perm)));
+  for (int m = 0; m < p.recorded_rounds(); ++m)
+    for (AgentId from : p.faulty())
+      for (AgentId to : p.dropped(m, from))
+        out.drop(m, perm[static_cast<std::size_t>(from)],
+                 perm[static_cast<std::size_t>(to)]);
+  return out;
+}
+
+bool is_canonical(const FailurePattern& p) {
+  const int k = p.num_faulty();
+  AgentSet prefix;
+  for (AgentId i = 0; i < k; ++i) prefix.insert(i);
+  if (p.faulty() != prefix) return false;
+  // k = 0 has an empty drop tensor: trivially canonical, and materializing
+  // the full S_n stabilizer (n! permutations) would be pure waste.
+  if (k == 0) return true;
+  const Slice s = slice_of(p);
+  return slice_is_canonical(s, make_subgroup(p.n(), k));
+}
+
+FailurePattern canonicalize(const FailurePattern& p) {
+  if (p.num_faulty() == 0) return FailurePattern(p.n(), AgentSet::all(p.n()));
+  const Slice s = slice_of(p);
+  const Subgroup g = make_subgroup(s.n, s.k);
+  std::vector<std::uint64_t> best = s.words;
+  std::vector<std::uint64_t> img(s.words.size());
+  for (std::size_t gi = 1; gi < g.perms.size(); ++gi) {
+    for (int m = 0; m < s.rounds; ++m) {
+      const std::size_t row =
+          static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
+      for (int out = 0; out < s.k; ++out)
+        img[row + static_cast<std::size_t>(out)] = permute_bits(
+            s.words[row + static_cast<std::size_t>(
+                              g.invs[gi][static_cast<std::size_t>(out)])],
+            g.perms[gi]);
+    }
+    if (std::lexicographical_compare(img.begin(), img.end(), best.begin(),
+                                     best.end()))
+      best = img;
+  }
+  return pattern_of_slice(s.n, s.k, s.rounds, best);
+}
+
+std::uint64_t orbit_size(const FailurePattern& p) {
+  if (p.num_faulty() == 0) return 1;
+  const Slice s = slice_of(p);
+  return slice_multiplicity(s, make_subgroup(s.n, s.k));
+}
+
+std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
+  if (rep.num_faulty() == 0) {
+    std::vector<FailurePattern> out;
+    out.emplace_back(rep.n(), AgentSet::all(rep.n()));
+    return out;
+  }
+  const Slice s = slice_of(rep);
+  const Subgroup g = make_subgroup(s.n, s.k);
+  AgentSet prefix;
+  for (AgentId i = 0; i < s.k; ++i) prefix.insert(i);
+  EBA_REQUIRE(rep.faulty() == prefix && slice_is_canonical(s, g),
+              "expand_orbit needs a canonical representative");
+  // Distinct drop tensors over the fixed partition {0..k-1} | {k..n-1}.
+  std::vector<std::vector<std::uint64_t>> images;
+  std::vector<std::uint64_t> img(s.words.size());
+  for (std::size_t gi = 0; gi < g.perms.size(); ++gi) {
+    for (int m = 0; m < s.rounds; ++m) {
+      const std::size_t row =
+          static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
+      for (int out = 0; out < s.k; ++out)
+        img[row + static_cast<std::size_t>(out)] = permute_bits(
+            s.words[row + static_cast<std::size_t>(
+                              g.invs[gi][static_cast<std::size_t>(out)])],
+            g.perms[gi]);
+    }
+    images.push_back(img);
+  }
+  std::sort(images.begin(), images.end());
+  images.erase(std::unique(images.begin(), images.end()), images.end());
+
+  // One coset relabeling per faulty set: {0..k-1} -> F ascending and
+  // {k..n-1} -> complement ascending maps each distinct fixed-partition
+  // image to a distinct orbit member with faulty set F, covering the orbit
+  // exactly once.
+  std::vector<FailurePattern> out;
+  std::vector<AgentId> idx(static_cast<std::size_t>(s.k));
+  std::iota(idx.begin(), idx.end(), 0);
+  const bool some_subset = s.k > 0;
+  for (;;) {
+    std::vector<AgentId> map(static_cast<std::size_t>(s.n));
+    AgentSet faulty;
+    for (AgentId i : idx) faulty.insert(i);
+    int next_f = 0;
+    int next_n = s.k;
+    // map is the inverse direction of slice_of's: canonical id -> orbit id.
+    std::vector<AgentId> fs;
+    std::vector<AgentId> ns;
+    for (AgentId i = 0; i < s.n; ++i)
+      (faulty.contains(i) ? fs : ns).push_back(i);
+    for (AgentId i : fs) map[static_cast<std::size_t>(next_f++)] = i;
+    for (AgentId i : ns) map[static_cast<std::size_t>(next_n++)] = i;
+    for (const auto& words : images) {
+      FailurePattern p(s.n, faulty.complement(s.n));
+      for (int m = 0; m < s.rounds; ++m)
+        for (int snd = 0; snd < s.k; ++snd)
+          for (AgentId to :
+               AgentSet(words[static_cast<std::size_t>(m) *
+                                  static_cast<std::size_t>(s.k) +
+                              static_cast<std::size_t>(snd)]))
+            p.drop(m, map[static_cast<std::size_t>(snd)],
+                   map[static_cast<std::size_t>(to)]);
+      out.push_back(std::move(p));
+    }
+    if (!some_subset || !detail::next_combination(idx, s.n)) break;
+  }
+  return out;
+}
+
+std::uint64_t enumerate_canonical_adversaries(
+    const EnumerationConfig& cfg,
+    const std::function<bool(const FailurePattern&, std::uint64_t)>& fn) {
+  EBA_REQUIRE(cfg.n >= 1 && cfg.n <= kMaxCanonicalAgents,
+              "agent count out of canonicalization range");
+  EBA_REQUIRE(cfg.t >= 0 && cfg.t < cfg.n, "need 0 <= t < n");
+  EBA_REQUIRE(cfg.rounds >= 0, "negative round prefix");
+  std::uint64_t orbits = 0;
+  for (int k = 0; k <= cfg.t; ++k) {
+    if (k == 0) {
+      // The single drop-free pattern is its own orbit; skip building S_n.
+      ++orbits;
+      if (!fn(FailurePattern(cfg.n, AgentSet::all(cfg.n)), 1)) return orbits;
+      continue;
+    }
+    const Subgroup g = make_subgroup(cfg.n, k);
+    Slice s;
+    s.n = cfg.n;
+    s.k = k;
+    s.rounds = cfg.rounds;
+    s.words.assign(static_cast<std::size_t>(k) *
+                       static_cast<std::size_t>(cfg.rounds),
+                   0);
+    std::vector<std::uint64_t> allowed(static_cast<std::size_t>(k));
+    for (int snd = 0; snd < k; ++snd)
+      allowed[static_cast<std::size_t>(snd)] =
+          AgentSet::all(cfg.n).minus(AgentSet{snd}).bits();
+    for (;;) {
+      // Minimality and stabilizer size come from one scan of the subgroup.
+      if (const auto stab = slice_canonical_stabilizer(s, g)) {
+        ++orbits;
+        const std::uint64_t multiplicity =
+            choose(cfg.n, k) *
+            (static_cast<std::uint64_t>(g.perms.size()) / *stab);
+        if (!fn(pattern_of_slice(cfg.n, k, cfg.rounds, s.words),
+                multiplicity))
+          return orbits;
+      }
+      if (!detail::advance_drop_words(s.words, allowed, k))
+        break;  // wrapped: this k is exhausted
+    }
+  }
+  return orbits;
+}
+
+std::optional<std::uint64_t> try_count_canonical_adversaries(
+    const EnumerationConfig& cfg) {
+  EBA_REQUIRE(cfg.n >= 1 && cfg.n <= kMaxCanonicalAgents,
+              "agent count out of canonicalization range");
+  EBA_REQUIRE(cfg.t >= 0 && cfg.t < cfg.n, "need 0 <= t < n");
+  EBA_REQUIRE(cfg.rounds >= 0, "negative round prefix");
+  unsigned __int128 total = 0;
+  for (int k = 0; k <= cfg.t; ++k) {
+    if (k == 0) {
+      total += 1;  // the drop-free pattern, one orbit — no group needed
+      continue;
+    }
+    const Subgroup g = make_subgroup(cfg.n, k);
+    unsigned __int128 sum = 0;
+    std::vector<char> visited;
+    for (const auto& perm : g.perms) {
+      // Cycles of the element's action on cells (s, r): s < k, r != s.
+      visited.assign(static_cast<std::size_t>(k) *
+                         static_cast<std::size_t>(cfg.n),
+                     0);
+      int cycles = 0;
+      for (int snd = 0; snd < k; ++snd) {
+        for (AgentId r = 0; r < cfg.n; ++r) {
+          if (r == snd) continue;
+          std::size_t cell = static_cast<std::size_t>(snd) *
+                                 static_cast<std::size_t>(cfg.n) +
+                             static_cast<std::size_t>(r);
+          if (visited[cell]) continue;
+          ++cycles;
+          int cs = snd;
+          AgentId cr = r;
+          while (!visited[static_cast<std::size_t>(cs) *
+                              static_cast<std::size_t>(cfg.n) +
+                          static_cast<std::size_t>(cr)]) {
+            visited[static_cast<std::size_t>(cs) *
+                        static_cast<std::size_t>(cfg.n) +
+                    static_cast<std::size_t>(cr)] = 1;
+            cs = perm[static_cast<std::size_t>(cs)];
+            cr = perm[static_cast<std::size_t>(cr)];
+          }
+        }
+      }
+      const long long exponent =
+          static_cast<long long>(cfg.rounds) * cycles;
+      if (exponent > 126) return std::nullopt;
+      const unsigned __int128 fixed = static_cast<unsigned __int128>(1)
+                                      << exponent;
+      if (sum > kU128Max - fixed) return std::nullopt;
+      sum += fixed;
+    }
+    const unsigned __int128 order =
+        static_cast<unsigned __int128>(g.perms.size());
+    EBA_ASSERT(sum % order == 0);  // Burnside: the average is an integer
+    const unsigned __int128 orbits = sum / order;
+    if (total > kU128Max - orbits) return std::nullopt;
+    total += orbits;
+  }
+  if (total > static_cast<unsigned __int128>(~std::uint64_t{0}))
+    return std::nullopt;
+  return static_cast<std::uint64_t>(total);
+}
+
+std::uint64_t count_canonical_adversaries(const EnumerationConfig& cfg) {
+  const auto count = try_count_canonical_adversaries(cfg);
+  EBA_REQUIRE(count.has_value(),
+              "orbit count overflows the checked 64-bit range");
+  return *count;
+}
+
+}  // namespace eba

@@ -1,0 +1,99 @@
+// Symmetry reduction of the SO(t) adversary space (cf. ROADMAP
+// "failure-pattern generator scaling"; the same lever epistemic model
+// checkers like MCK use against state-space blowup).
+//
+// Why renaming is a symmetry: nothing in the SO(t) context distinguishes one
+// agent id from another — the enumeration ranges over *all* faulty sets and
+// *all* drop tensors, and the library's protocols (P_min, P_basic, P_opt)
+// treat agents symmetrically (their decisions depend on initial values and
+// received messages, never on numeric ids). Relabeling the agents of a
+// failure pattern α by any permutation π therefore yields a pattern π·α
+// whose runs are the agent-relabeled runs of α: run(π·α, π·prefs) makes
+// agent π(i) do exactly what agent i does in run(α, prefs)
+// (tests/test_canonical.cpp checks this equivariance mechanically). Any
+// whole-space sweep of a relabeling-invariant property — spec violations,
+// worst decision rounds, message-bit totals — may consequently visit one
+// representative per orbit of the S_n action and weight it by the orbit
+// size, instead of visiting every pattern.
+//
+// In particular "renaming within the faulty/nonfaulty partition": every
+// permutation maps the faulty set onto the image pattern's faulty set, so an
+// orbit is determined by (a) the faulty-set size k — giving the C(n, k)
+// factor — and (b) the orbit of the drop tensor under the stabilizer
+// S_k × S_{n-k} of the canonical faulty set {0..k-1}, which permutes faulty
+// senders among themselves and nonfaulty agents among themselves (receivers
+// of either kind are relabeled along).
+//
+// The canonical representative of an orbit is the pattern with faulty set
+// {0..k-1} whose drop tensor (per-(round, sender) receiver masks, compared
+// round-major) is lexicographically minimal under S_k × S_{n-k}.
+//
+// NOTE for knowledge-based model checks: epistemic operators are NOT
+// invariant under *dropping* orbit members — removing a run from an
+// interpreted system removes a point agents must consider possible and
+// manufactures spurious knowledge. Knowledge systems therefore expand each
+// orbit back to all members (expand_orbit; see kripke/system.hpp); only
+// per-run-invariant sweeps may consume bare representatives.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "failure/adversary_iter.hpp"
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+/// Largest n the canonicalization helpers accept: the canonical test is
+/// factorial in max(k, n-k), so beyond this the exhaustive enumeration it
+/// serves is unreachable anyway.
+inline constexpr int kMaxCanonicalAgents = 10;
+
+/// Relabels agents of `p` by `perm` (perm[i] = new id of agent i):
+/// the image drops (m, perm(i) -> perm(j)) iff p drops (m, i -> j).
+[[nodiscard]] FailurePattern relabeled(const FailurePattern& p,
+                                       const std::vector<AgentId>& perm);
+
+/// True iff `p` is the canonical representative of its orbit: its faulty
+/// set is {0..k-1} and its drop tensor is lexicographically minimal under
+/// S_k × S_{n-k}.
+[[nodiscard]] bool is_canonical(const FailurePattern& p);
+
+/// The canonical representative of p's orbit under agent renaming.
+[[nodiscard]] FailurePattern canonicalize(const FailurePattern& p);
+
+/// Size of p's orbit under the full S_n renaming action:
+/// C(n, k) * |S_k × S_{n-k} orbit of the drop tensor| (orbit–stabilizer).
+[[nodiscard]] std::uint64_t orbit_size(const FailurePattern& p);
+
+/// Every distinct pattern of the orbit of canonical representative `rep`
+/// (deterministic order: faulty sets in combination order, tensor images
+/// sorted). Precondition: is_canonical(rep).
+[[nodiscard]] std::vector<FailurePattern> expand_orbit(
+    const FailurePattern& rep);
+
+/// Invokes `fn(representative, multiplicity)` once per orbit of the SO(t)
+/// space of `cfg`, where multiplicity = orbit_size(representative), so that
+/// the multiplicities over all visited orbits sum to exactly
+/// count_adversaries(cfg). Stops early when fn returns false. Returns the
+/// number of orbits visited.
+std::uint64_t enumerate_canonical_adversaries(
+    const EnumerationConfig& cfg,
+    const std::function<bool(const FailurePattern&, std::uint64_t)>& fn);
+
+/// Number of orbits enumerate_canonical_adversaries visits, computed in
+/// closed form by Burnside's lemma (no enumeration): for each k,
+/// (1/|S_k × S_{n-k}|) * sum over group elements of 2^(rounds * #cycles of
+/// the element's action on (sender, receiver) cells). Overflow-checked:
+/// nullopt when any intermediate exceeds the checked 128-bit accumulator or
+/// the result exceeds uint64.
+[[nodiscard]] std::optional<std::uint64_t> try_count_canonical_adversaries(
+    const EnumerationConfig& cfg);
+
+/// Throwing variant of try_count_canonical_adversaries.
+[[nodiscard]] std::uint64_t count_canonical_adversaries(
+    const EnumerationConfig& cfg);
+
+}  // namespace eba

@@ -1,87 +1,50 @@
 #include "failure/generators.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace eba {
-namespace {
-
-/// Enumerates subsets of {0..n-1} of size exactly k, invoking fn(mask).
-/// Returns false if fn requested early stop.
-bool for_each_subset_of_size(int n, int k,
-                             const std::function<bool(AgentSet)>& fn) {
-  std::vector<AgentId> idx(static_cast<std::size_t>(k));
-  // Standard combination walk.
-  for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
-  if (k == 0) return fn(AgentSet{});
-  while (true) {
-    AgentSet s;
-    for (AgentId i : idx) s.insert(i);
-    if (!fn(s)) return false;
-    int pos = k - 1;
-    while (pos >= 0 &&
-           idx[static_cast<std::size_t>(pos)] == n - k + pos)
-      --pos;
-    if (pos < 0) return true;
-    ++idx[static_cast<std::size_t>(pos)];
-    for (int j = pos + 1; j < k; ++j)
-      idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
-  }
-}
-
-/// Builds a pattern from a drop bitmap: bit index runs over
-/// (round, faulty-sender-index, receiver-slot).
-FailurePattern pattern_from_bits(int n, AgentSet faulty, int rounds,
-                                 std::uint64_t bits) {
-  FailurePattern p(n, faulty.complement(n));
-  int bit = 0;
-  for (int m = 0; m < rounds; ++m) {
-    for (AgentId from : faulty) {
-      for (AgentId to = 0; to < n; ++to) {
-        if (to == from) continue;
-        if ((bits >> bit) & 1u) p.drop(m, from, to);
-        ++bit;
-      }
-    }
-  }
-  return p;
-}
-
-}  // namespace
 
 std::uint64_t enumerate_adversaries(
     const EnumerationConfig& cfg,
     const std::function<bool(const FailurePattern&)>& fn) {
+  AdversaryIterator it(cfg);
+  while (const FailurePattern* p = it.next())
+    if (!fn(*p)) break;
+  return it.yielded();
+}
+
+std::optional<std::uint64_t> try_count_adversaries(
+    const EnumerationConfig& cfg) {
   EBA_REQUIRE(cfg.n >= 1 && cfg.t >= 0 && cfg.t < cfg.n, "bad config");
-  std::uint64_t visited = 0;
-  bool keep_going = true;
-  for (int k = 0; k <= cfg.t && keep_going; ++k) {
-    const int bits_per_pattern = k * (cfg.n - 1) * cfg.rounds;
-    EBA_REQUIRE(bits_per_pattern < 48,
-                "enumeration space too large; reduce n, t, or rounds");
-    keep_going = for_each_subset_of_size(cfg.n, k, [&](AgentSet faulty) {
-      const std::uint64_t combos = std::uint64_t{1} << bits_per_pattern;
-      for (std::uint64_t bits = 0; bits < combos; ++bits) {
-        ++visited;
-        if (!fn(pattern_from_bits(cfg.n, faulty, cfg.rounds, bits)))
-          return false;
-      }
-      return true;
-    });
+  EBA_REQUIRE(cfg.rounds >= 0, "negative round prefix");
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // 128-bit accumulation: with n <= 64 the binomial intermediates can wrap
+  // uint64 even when the final count fits (e.g. C(63,31) * 32), and each
+  // combos term stays < 2^124, so the running total is checked after every
+  // addition and never overflows the accumulator.
+  unsigned __int128 total = 0;
+  for (int k = 0; k <= cfg.t; ++k) {
+    // C(n, k) faulty sets, each with 2^(k*(n-1)*rounds) drop combos.
+    unsigned __int128 choose = 1;
+    for (int i = 0; i < k; ++i)
+      choose = choose * static_cast<unsigned>(cfg.n - i) /
+               static_cast<unsigned>(i + 1);
+    const long long shift =
+        static_cast<long long>(k) * (cfg.n - 1) * cfg.rounds;
+    if (k > 0 && shift >= 64) return std::nullopt;  // 2^shift alone > uint64
+    total += choose << shift;
+    if (total > kMax) return std::nullopt;
   }
-  return visited;
+  return static_cast<std::uint64_t>(total);
 }
 
 std::uint64_t count_adversaries(const EnumerationConfig& cfg) {
-  std::uint64_t total = 0;
-  for (int k = 0; k <= cfg.t; ++k) {
-    // C(n, k) faulty sets, each with 2^(k*(n-1)*rounds) drop combos.
-    std::uint64_t choose = 1;
-    for (int i = 0; i < k; ++i)
-      choose = choose * static_cast<std::uint64_t>(cfg.n - i) /
-               static_cast<std::uint64_t>(i + 1);
-    total += choose << (k * (cfg.n - 1) * cfg.rounds);
-  }
-  return total;
+  const auto count = try_count_adversaries(cfg);
+  EBA_REQUIRE(count.has_value(),
+              "adversary count overflows uint64; use try_count_adversaries "
+              "or the orbit counts in failure/canonical.hpp");
+  return *count;
 }
 
 FailurePattern sample_adversary(int n, int num_faulty, int rounds,

@@ -6,31 +6,36 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "failure/adversary_iter.hpp"
 #include "failure/pattern.hpp"
 #include "stats/rng.hpp"
 
 namespace eba {
 
-/// Parameters for exhaustive enumeration. `rounds` bounds the prefix in
-/// which drops may occur; later rounds are failure-free. The number of
-/// patterns is sum over faulty sets F of 2^(|F| * (n-1) * rounds), so keep
-/// n, t and rounds small.
-struct EnumerationConfig {
-  int n = 3;
-  int t = 1;
-  int rounds = 2;
-};
-
 /// Invokes `fn` on every SO(t) failure pattern with drops confined to the
-/// first `rounds` rounds. Returns the number of patterns visited. If `fn`
-/// returns false, enumeration stops early.
+/// first `rounds` rounds (lazily, via AdversaryIterator — no ceiling on the
+/// drop-bit count). Returns the number of patterns visited. If `fn` returns
+/// false, enumeration stops early.
+///
+/// The space is exponential; full walks are only feasible for small
+/// (n, t, rounds). For relabeling-invariant sweeps, the symmetry-reduced
+/// enumeration in failure/canonical.hpp visits one representative per
+/// agent-renaming orbit instead.
 std::uint64_t enumerate_adversaries(
     const EnumerationConfig& config,
     const std::function<bool(const FailurePattern&)>& fn);
 
-/// Number of patterns enumerate_adversaries would visit.
+/// Number of patterns enumerate_adversaries would visit
+/// (sum over k <= t of C(n,k) * 2^(k*(n-1)*rounds)), or nullopt if the
+/// count overflows uint64.
+[[nodiscard]] std::optional<std::uint64_t> try_count_adversaries(
+    const EnumerationConfig& config);
+
+/// Throwing variant of try_count_adversaries: raises an explicit contract
+/// error instead of silently wrapping when the count overflows uint64.
 [[nodiscard]] std::uint64_t count_adversaries(const EnumerationConfig& config);
 
 /// Samples an SO(t) pattern: chooses `num_faulty` distinct faulty agents

@@ -10,18 +10,64 @@
 // protocol table on reachable local states — by construction an
 // implementation of the program, which Theorems 6.5/6.6 predict equals
 // P_min/P_basic in the corresponding contexts (verified in tests).
+//
+// Scaling (SynthesisOptions): the naive evaluation is world-by-world with a
+// fresh common-knowledge BFS per test, which caps full contexts at n <= 4.
+// Three observations make n = 5–6 and γ_fip contexts tractable, each gated
+// by an option so the naive path stays available as a baseline
+// (bench/bench_synthesis.cpp) and the equivalence of all option
+// combinations is testable (tests/test_synthesis_opts.cpp):
+//
+//   * every knowledge test of P0/P1 is a function of the agent's
+//     indistinguishability *class*, not of the (world, agent) pair — so each
+//     test is evaluated once per class and shared by all member worlds
+//     (`memoize`);
+//   * the C_N(...) BFS result is a function of the reachable component: a
+//     positive verdict transfers to every world reached (its reach set is a
+//     subset that also passes), so components are explored once per round
+//     per value, with early exit on a failed conjunct (`memoize`);
+//   * worlds whose joint signature (per-agent classes, decision state,
+//     jdecided-0 flag) coincides are indistinguishable to every test, so
+//     only one representative per signature is evaluated and the actions are
+//     copied to the duplicates (`dedup_worlds`);
+//   * representatives are independent given the per-round tables, so their
+//     evaluation — and the per-world state advance — fans out over the
+//     shared worker pool of net/pool.hpp (`workers`).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "failure/pattern.hpp"
+#include "net/pool.hpp"
 #include "sim/simulator.hpp"
 
 namespace eba {
 
 enum class KbpProgram { p0, p1 };
+
+struct SynthesisOptions {
+  /// Evaluate knowledge tests once per joint-signature class of worlds.
+  bool dedup_worlds = true;
+  /// Class-level memo of the P0 tests and component memo of the C_N BFS.
+  bool memoize = true;
+  /// Worker threads for per-round evaluation and state advance
+  /// (0 = hardware concurrency, 1 = sequential). All settings produce
+  /// identical results.
+  int workers = 0;
+};
+
+/// Counters describing how much work the options saved (for benches/tests).
+struct SynthesisStats {
+  std::size_t worlds = 0;
+  std::size_t world_rounds = 0;      ///< worlds × horizon
+  std::size_t evaluated_rounds = 0;  ///< representative evaluations
+  std::size_t common_bfs = 0;        ///< C_N component traversals
+};
 
 template <ExchangeProtocol X>
 struct SynthesisResult {
@@ -29,6 +75,7 @@ struct SynthesisResult {
   std::unordered_map<typename X::State, Action> table;
   /// Decision (if any) per world per agent, for spec checks.
   std::vector<std::vector<std::optional<Decision>>> decisions;
+  SynthesisStats stats;
 };
 
 template <ExchangeProtocol X>
@@ -37,8 +84,8 @@ class KbpSynthesizer {
   using State = typename X::State;
   using World = std::pair<FailurePattern, std::vector<Value>>;
 
-  KbpSynthesizer(X x, int t, KbpProgram program)
-      : x_(std::move(x)), t_(t), program_(program) {}
+  KbpSynthesizer(X x, int t, KbpProgram program, SynthesisOptions opt = {})
+      : x_(std::move(x)), t_(t), program_(program), opt_(opt) {}
 
   [[nodiscard]] SynthesisResult<X> run(const std::vector<World>& worlds,
                                        int horizon) {
@@ -61,17 +108,26 @@ class KbpSynthesizer {
       nonfaulty_.push_back(alpha.nonfaulty());
       inits_.push_back(inits);
     }
+    bfs_count_.store(0, std::memory_order_relaxed);
 
     SynthesisResult<X> result;
     result.decisions.assign(nw, std::vector<std::optional<Decision>>(
                                     static_cast<std::size_t>(n)));
+    result.stats.worlds = nw;
     for (int m = 0; m < horizon; ++m) {
       build_classes();
-      const auto actions = assign_actions(m);
+      assign_actions(m, result.stats);
+      // The synthesized table only needs representative worlds: a duplicate
+      // world's states and actions are copies of its representative's, so
+      // its records are byte-identical (and every world is its own
+      // representative when dedup is off). Decisions are per world.
+      for (const std::size_t w : reps_)
+        for (AgentId i = 0; i < n; ++i)
+          record(result, states_[w][static_cast<std::size_t>(i)],
+                 actions_[w][static_cast<std::size_t>(i)]);
       for (std::size_t w = 0; w < nw; ++w) {
         for (AgentId i = 0; i < n; ++i) {
-          const Action a = actions[w][static_cast<std::size_t>(i)];
-          record(result, states_[w][static_cast<std::size_t>(i)], a);
+          const Action a = actions_[w][static_cast<std::size_t>(i)];
           if (a.is_decide()) {
             decisions_[w][static_cast<std::size_t>(i)] =
                 Decision{a.value(), m + 1};
@@ -80,13 +136,19 @@ class KbpSynthesizer {
           }
         }
       }
-      advance_round(worlds, actions, m);
-      last_actions_ = actions;
+      advance_round(worlds, m);
+      // actions_ is rebuilt from scratch next round; swapping hands the
+      // current actions to last_actions_ without reallocating either.
+      last_actions_.swap(actions_);
+      result.stats.world_rounds += nw;
     }
+    result.stats.common_bfs = bfs_count_.load(std::memory_order_relaxed);
     return result;
   }
 
  private:
+  static constexpr std::size_t kGrain = 64;  ///< parallel_for chunk size
+
   /// Indistinguishability classes at the current time: for each agent, the
   /// set of worlds sharing its local state.
   void build_classes() {
@@ -96,6 +158,7 @@ class KbpSynthesizer {
                      std::vector<int>(static_cast<std::size_t>(n)));
     for (AgentId i = 0; i < n; ++i) {
       std::unordered_map<State, int> ids;
+      ids.reserve(states_.size());
       for (std::size_t w = 0; w < states_.size(); ++w) {
         const State& s = states_[w][static_cast<std::size_t>(i)];
         auto [it, fresh] = ids.try_emplace(s, static_cast<int>(ids.size()));
@@ -125,10 +188,26 @@ class KbpSynthesizer {
     return false;
   }
 
-  /// C_N(t-faulty ∧ no-decided_N(1-v) ∧ ∃v) over the partial system.
-  [[nodiscard]] bool common_condition(std::size_t w0, Value v) const {
-    const int n = x_.n();
+  /// The φ conjuncts of C_N(t-faulty ∧ no-decided_N(1-v) ∧ ∃v) local to one
+  /// world (the t-faulty part is the reach-wide intersection test).
+  [[nodiscard]] bool common_pred(std::size_t w, Value v) const {
+    bool some_v = false;
+    for (Value x : inits_[w]) some_v = some_v || x == v;
+    if (!some_v) return false;
     const Value other = opposite(v);
+    for (AgentId j : nonfaulty_[w]) {
+      const auto& d = decisions_[w][static_cast<std::size_t>(j)];
+      if (d && d->value == other) return false;
+    }
+    return true;
+  }
+
+  /// C_N(t-faulty ∧ no-decided_N(1-v) ∧ ∃v) over the partial system — the
+  /// naive evaluation (full reach set, then the checks), kept verbatim as
+  /// the pre-optimization baseline that `memoize` is measured against.
+  [[nodiscard]] bool common_condition_uncached(std::size_t w0, Value v) const {
+    const int n = x_.n();
+    bfs_count_.fetch_add(1, std::memory_order_relaxed);
     // BFS over worlds through ~_j edges, j nonfaulty at the source world.
     std::vector<char> queued(states_.size(), 0);
     std::vector<int> frontier;
@@ -155,111 +234,332 @@ class KbpSynthesizer {
       common_faulty = common_faulty.intersected(
           nonfaulty_[static_cast<std::size_t>(w)].complement(n));
     if (common_faulty.size() < t_) return false;
-    for (int w : reached) {
-      bool some_v = false;
-      for (Value x : inits_[static_cast<std::size_t>(w)]) some_v = some_v || x == v;
-      if (!some_v) return false;
-      for (AgentId j : nonfaulty_[static_cast<std::size_t>(w)]) {
-        const auto& d = decisions_[static_cast<std::size_t>(w)]
-                                  [static_cast<std::size_t>(j)];
-        if (d && d->value == other) return false;
+    for (int w : reached)
+      if (!common_pred(static_cast<std::size_t>(w), v)) return false;
+    return true;
+  }
+
+  /// Memoized C_N evaluation: one traversal per reachable component per
+  /// round per value. A positive verdict is propagated to every reached
+  /// world (its reach set is a subset whose conjuncts all hold and whose
+  /// faulty intersection only grows); a failed conjunct aborts the
+  /// traversal early and also condemns the failing world itself.
+  [[nodiscard]] bool common_condition_cached(std::size_t w0, Value v) const {
+    auto& memo = common_memo_[static_cast<std::size_t>(to_int(v))];
+    {
+      const signed char cached =
+          memo[w0].load(std::memory_order_relaxed);
+      if (cached >= 0) return cached == 1;
+    }
+    const int n = x_.n();
+    bfs_count_.fetch_add(1, std::memory_order_relaxed);
+    std::vector<char> queued(states_.size(), 0);
+    std::vector<int> frontier;
+    std::vector<int> reached;
+    AgentSet common_faulty = AgentSet::all(n);
+    bool result = true;
+    // Checks a world the moment it is first reached; false return = abort.
+    auto consider = [&](int w2) {
+      if (!common_pred(static_cast<std::size_t>(w2), v)) {
+        // w2 is in its own reach set, so its verdict is false too.
+        memo[static_cast<std::size_t>(w2)].store(0, std::memory_order_relaxed);
+        return false;
       }
+      common_faulty = common_faulty.intersected(
+          nonfaulty_[static_cast<std::size_t>(w2)].complement(n));
+      return common_faulty.size() >= t_;  // monotone: can only shrink
+    };
+    auto expand = [&](int from) {
+      for (AgentId j : nonfaulty_[static_cast<std::size_t>(from)])
+        for (int w : cls(static_cast<std::size_t>(from), j))
+          if (!queued[static_cast<std::size_t>(w)]) {
+            queued[static_cast<std::size_t>(w)] = 1;
+            if (!consider(w)) return false;
+            frontier.push_back(w);
+            reached.push_back(w);
+          }
+      return true;
+    };
+    result = expand(static_cast<int>(w0));
+    while (result && !frontier.empty()) {
+      const int w = frontier.back();
+      frontier.pop_back();
+      result = expand(w);
+    }
+    memo[w0].store(result ? 1 : 0, std::memory_order_relaxed);
+    if (result)
+      for (int w : reached)
+        memo[static_cast<std::size_t>(w)].store(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  /// K_i C_N(...): all of the agent's indistinguishable worlds satisfy the
+  /// common condition. Class-memoized when enabled.
+  [[nodiscard]] bool knows_common(std::size_t w, AgentId i, Value v) const {
+    if (!opt_.memoize) {
+      for (int w2 : cls(w, i))
+        if (!common_condition_uncached(static_cast<std::size_t>(w2), v))
+          return false;
+      return true;
+    }
+    const std::size_t c = static_cast<std::size_t>(
+        class_of_[w][static_cast<std::size_t>(i)]);
+    auto& cell = class_common_[static_cast<std::size_t>(to_int(v))]
+                              [static_cast<std::size_t>(i)][c];
+    const signed char cached = cell.load(std::memory_order_relaxed);
+    if (cached >= 0) return cached == 1;
+    bool all = true;
+    for (int w2 : cls(w, i))
+      if (!common_condition_cached(static_cast<std::size_t>(w2), v)) {
+        all = false;
+        break;
+      }
+    cell.store(all ? 1 : 0, std::memory_order_relaxed);
+    return all;
+  }
+
+  /// K_i(∨_j jdecided_j = 0). Class-memoized when enabled.
+  [[nodiscard]] bool knows_jd0(std::size_t w, AgentId i, int m) const {
+    if (!opt_.memoize) {
+      for (int w2 : cls(w, i))
+        if (!any_jdecided0(static_cast<std::size_t>(w2), m)) return false;
+      return true;
+    }
+    return class_jd0_[static_cast<std::size_t>(i)][static_cast<std::size_t>(
+               class_of_[w][static_cast<std::size_t>(i)])] != 0;
+  }
+
+  /// Joint world signature for dedup: two worlds with equal per-agent
+  /// classes (⇒ equal states), equal decision state and equal jdecided-0
+  /// flag are assigned identical actions by every test.
+  [[nodiscard]] bool same_signature(std::size_t a, std::size_t b) const {
+    if (jd0_[a] != jd0_[b] || class_of_[a] != class_of_[b]) return false;
+    for (std::size_t i = 0; i < decisions_[a].size(); ++i) {
+      const auto& da = decisions_[a][i];
+      const auto& db = decisions_[b][i];
+      if (da.has_value() != db.has_value()) return false;
+      if (da && da->value != db->value) return false;
     }
     return true;
   }
 
-  [[nodiscard]] std::vector<std::vector<Action>> assign_actions(int m) {
+  /// Fills actions_ (and the stage bookkeeping) for round m+1. Buffers are
+  /// members so round r+1 reuses round r's allocations.
+  void assign_actions(int m, SynthesisStats& stats) {
     const int n = x_.n();
-    std::vector<std::vector<Action>> actions(
-        states_.size(), std::vector<Action>(static_cast<std::size_t>(n)));
-    std::vector<std::vector<char>> assigned(
-        states_.size(), std::vector<char>(static_cast<std::size_t>(n), 0));
+    const std::size_t nw = states_.size();
+    actions_.resize(nw);
+    assigned_.resize(nw);
+    for (std::size_t w = 0; w < nw; ++w) {
+      actions_[w].assign(static_cast<std::size_t>(n), Action{});
+      assigned_[w].assign(static_cast<std::size_t>(n), 0);
+    }
+
+    jd0_.resize(nw);
+    for (std::size_t w = 0; w < nw; ++w)
+      jd0_[w] = any_jdecided0(w, m) ? 1 : 0;
+
+    // Representatives: one world per joint signature (all worlds if dedup
+    // is off). Duplicates inherit their representative's action row.
+    reps_.clear();
+    rep_of_.resize(nw);
+    if (opt_.dedup_worlds) {
+      std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+      for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t h = jd0_[w] ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
+        for (int c : class_of_[w])
+          h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+        for (const auto& d : decisions_[w])
+          h = (h ^ (d ? 2u + static_cast<unsigned>(to_int(d->value)) : 1u)) *
+              0x100000001b3ull;
+        auto& bucket = buckets[h];
+        std::size_t rep = nw;
+        for (std::size_t cand : bucket)
+          if (same_signature(cand, w)) {
+            rep = cand;
+            break;
+          }
+        if (rep == nw) {
+          bucket.push_back(w);
+          reps_.push_back(w);
+          rep = w;
+        }
+        rep_of_[w] = rep;
+      }
+    } else {
+      reps_.resize(nw);
+      for (std::size_t w = 0; w < nw; ++w) {
+        reps_[w] = w;
+        rep_of_[w] = w;
+      }
+    }
+    stats.evaluated_rounds += reps_.size();
+
+    if (opt_.memoize) {
+      // Eager class tables for the P0 decide-0 test.
+      class_jd0_.assign(static_cast<std::size_t>(n), {});
+      for (AgentId i = 0; i < n; ++i) {
+        auto& row = class_jd0_[static_cast<std::size_t>(i)];
+        row.assign(classes_[static_cast<std::size_t>(i)].size(), 1);
+        for (std::size_t c = 0; c < row.size(); ++c)
+          for (int w2 : classes_[static_cast<std::size_t>(i)][c])
+            if (!jd0_[static_cast<std::size_t>(w2)]) {
+              row[c] = 0;
+              break;
+            }
+      }
+      if (program_ == KbpProgram::p1) {
+        for (auto v : {0, 1}) {
+          reset_tristate(common_memo_[static_cast<std::size_t>(v)], nw);
+          auto& per_agent = class_common_[static_cast<std::size_t>(v)];
+          per_agent.resize(static_cast<std::size_t>(n));
+          for (AgentId i = 0; i < n; ++i)
+            reset_tristate(per_agent[static_cast<std::size_t>(i)],
+                           classes_[static_cast<std::size_t>(i)].size());
+        }
+      }
+    }
 
     // Stage 1: noop-if-decided, the common-knowledge lines of P1, and the
     // decide-0 line. All of these depend only on rounds < m+1.
-    for (std::size_t w = 0; w < states_.size(); ++w) {
-      for (AgentId i = 0; i < n; ++i) {
-        auto set = [&](Action a) {
-          actions[w][static_cast<std::size_t>(i)] = a;
-          assigned[w][static_cast<std::size_t>(i)] = 1;
-        };
-        if (decided(w, i)) {
-          set(Action::noop());
-          continue;
-        }
-        if (program_ == KbpProgram::p1) {
-          const auto& peers = cls(w, i);
-          auto knows_common = [&](Value v) {
-            for (int w2 : peers)
-              if (!common_condition(static_cast<std::size_t>(w2), v))
-                return false;
-            return true;
-          };
-          if (knows_common(Value::zero)) {
-            set(Action::decide(Value::zero));
-            continue;
-          }
-          if (knows_common(Value::one)) {
-            set(Action::decide(Value::one));
-            continue;
-          }
-        }
-        const bool init0 =
-            inits_[w][static_cast<std::size_t>(i)] == Value::zero;
-        bool knows_jd0 = true;
-        for (int w2 : cls(w, i))
-          knows_jd0 = knows_jd0 && any_jdecided0(static_cast<std::size_t>(w2), m);
-        if (init0 || knows_jd0) set(Action::decide(Value::zero));
-      }
-    }
+    parallel_for(opt_.workers, reps_.size(), kGrain,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t r = begin; r < end; ++r)
+                     eval_stage1(reps_[r], m);
+                 });
+    copy_rows_to_duplicates();
 
     // Stage 2: the decide-1 line. "deciding_j = 0 in round m+1" is now fully
-    // determined by stage 1.
-    for (std::size_t w = 0; w < states_.size(); ++w) {
+    // determined by stage 1 (stage 2 itself never assigns decide(0), so its
+    // reads of other worlds' actions are order-independent).
+    if (opt_.memoize) {
+      has_decider0_.resize(nw);
+      for (std::size_t w = 0; w < nw; ++w) {
+        char any = 0;
+        for (const Action& a : actions_[w])
+          if (a.decides(Value::zero)) {
+            any = 1;
+            break;
+          }
+        has_decider0_[w] = any;
+      }
+      class_no_decider0_.assign(static_cast<std::size_t>(n), {});
       for (AgentId i = 0; i < n; ++i) {
-        if (assigned[w][static_cast<std::size_t>(i)]) continue;
-        bool knows_no_decider = true;
+        auto& row = class_no_decider0_[static_cast<std::size_t>(i)];
+        row.assign(classes_[static_cast<std::size_t>(i)].size(), 1);
+        for (std::size_t c = 0; c < row.size(); ++c)
+          for (int w2 : classes_[static_cast<std::size_t>(i)][c])
+            if (has_decider0_[static_cast<std::size_t>(w2)]) {
+              row[c] = 0;
+              break;
+            }
+      }
+    }
+    // Without the memo tables, stage 2 reads peer worlds' stage-2 rows
+    // directly (its writes are never decide(0), so the *order* is free),
+    // which would race with parallel writers — run it sequentially then.
+    parallel_for(opt_.memoize ? opt_.workers : 1, reps_.size(), kGrain,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t r = begin; r < end; ++r)
+                     eval_stage2(reps_[r]);
+                 });
+    copy_rows_to_duplicates();
+  }
+
+  void eval_stage1(std::size_t w, int m) {
+    const int n = x_.n();
+    for (AgentId i = 0; i < n; ++i) {
+      auto set = [&](Action a) {
+        actions_[w][static_cast<std::size_t>(i)] = a;
+        assigned_[w][static_cast<std::size_t>(i)] = 1;
+      };
+      if (decided(w, i)) {
+        set(Action::noop());
+        continue;
+      }
+      if (program_ == KbpProgram::p1) {
+        if (knows_common(w, i, Value::zero)) {
+          set(Action::decide(Value::zero));
+          continue;
+        }
+        if (knows_common(w, i, Value::one)) {
+          set(Action::decide(Value::one));
+          continue;
+        }
+      }
+      const bool init0 = inits_[w][static_cast<std::size_t>(i)] == Value::zero;
+      if (init0 || knows_jd0(w, i, m)) set(Action::decide(Value::zero));
+    }
+  }
+
+  void eval_stage2(std::size_t w) {
+    const int n = x_.n();
+    for (AgentId i = 0; i < n; ++i) {
+      if (assigned_[w][static_cast<std::size_t>(i)]) continue;
+      bool knows_no_decider = true;
+      if (opt_.memoize) {
+        knows_no_decider =
+            class_no_decider0_[static_cast<std::size_t>(i)]
+                              [static_cast<std::size_t>(class_of_[w][static_cast<std::size_t>(i)])] != 0;
+      } else {
         for (int w2 : cls(w, i)) {
           for (AgentId j = 0; j < n && knows_no_decider; ++j)
             knows_no_decider =
-                !actions[static_cast<std::size_t>(w2)][static_cast<std::size_t>(j)]
+                !actions_[static_cast<std::size_t>(w2)][static_cast<std::size_t>(j)]
                      .decides(Value::zero);
           if (!knows_no_decider) break;
         }
-        actions[w][static_cast<std::size_t>(i)] =
-            knows_no_decider ? Action::decide(Value::one) : Action::noop();
       }
+      actions_[w][static_cast<std::size_t>(i)] =
+          knows_no_decider ? Action::decide(Value::one) : Action::noop();
     }
-    return actions;
   }
 
-  void advance_round(const std::vector<World>& worlds,
-                     const std::vector<std::vector<Action>>& actions, int m) {
+  void copy_rows_to_duplicates() {
+    if (!opt_.dedup_worlds) return;
+    for (std::size_t w = 0; w < rep_of_.size(); ++w)
+      if (rep_of_[w] != w) {
+        actions_[w] = actions_[rep_of_[w]];
+        assigned_[w] = assigned_[rep_of_[w]];
+      }
+  }
+
+  void advance_round(const std::vector<World>& worlds, int m) {
     const int n = x_.n();
     using Message = typename X::Message;
-    for (std::size_t w = 0; w < worlds.size(); ++w) {
-      const FailurePattern& alpha = worlds[w].first;
-      std::vector<std::optional<Message>> outgoing(static_cast<std::size_t>(n));
-      for (AgentId i = 0; i < n; ++i)
-        outgoing[static_cast<std::size_t>(i)] =
-            x_.message(states_[w][static_cast<std::size_t>(i)],
-                       actions[w][static_cast<std::size_t>(i)], 0);
-      std::vector<std::vector<std::optional<Message>>> inbox(
-          static_cast<std::size_t>(n),
-          std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
-      for (AgentId i = 0; i < n; ++i) {
-        if (!outgoing[static_cast<std::size_t>(i)]) continue;
-        for (AgentId j = 0; j < n; ++j)
-          if (alpha.delivered(m, i, j))
-            inbox[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
-                outgoing[static_cast<std::size_t>(i)];
-      }
-      for (AgentId i = 0; i < n; ++i)
-        x_.update(states_[w][static_cast<std::size_t>(i)],
-                  actions[w][static_cast<std::size_t>(i)],
-                  std::span<const std::optional<Message>>(
-                      inbox[static_cast<std::size_t>(i)]));
-    }
+    parallel_for(
+        opt_.workers, worlds.size(), kGrain,
+        [&](std::size_t begin, std::size_t end) {
+          // Chunk-local scratch: reset per world instead of reallocated.
+          std::vector<std::optional<Message>> outgoing(
+              static_cast<std::size_t>(n));
+          std::vector<std::vector<std::optional<Message>>> inbox(
+              static_cast<std::size_t>(n),
+              std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
+          for (std::size_t w = begin; w < end; ++w) {
+            const FailurePattern& alpha = worlds[w].first;
+            for (AgentId i = 0; i < n; ++i)
+              for (AgentId j = 0; j < n; ++j)
+                inbox[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]
+                    .reset();
+            for (AgentId i = 0; i < n; ++i)
+              outgoing[static_cast<std::size_t>(i)] =
+                  x_.message(states_[w][static_cast<std::size_t>(i)],
+                             actions_[w][static_cast<std::size_t>(i)], 0);
+            for (AgentId i = 0; i < n; ++i) {
+              if (!outgoing[static_cast<std::size_t>(i)]) continue;
+              for (AgentId j = 0; j < n; ++j)
+                if (alpha.delivered(m, i, j))
+                  inbox[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)] =
+                      outgoing[static_cast<std::size_t>(i)];
+            }
+            for (AgentId i = 0; i < n; ++i)
+              x_.update(states_[w][static_cast<std::size_t>(i)],
+                        actions_[w][static_cast<std::size_t>(i)],
+                        std::span<const std::optional<Message>>(
+                            inbox[static_cast<std::size_t>(i)]));
+          }
+        });
   }
 
   void record(SynthesisResult<X>& result, const State& s, Action a) {
@@ -268,9 +568,16 @@ class KbpSynthesizer {
                 "knowledge tests assigned two actions to one local state");
   }
 
+  static void reset_tristate(std::vector<std::atomic<signed char>>& cells,
+                             std::size_t count) {
+    cells = std::vector<std::atomic<signed char>>(count);
+    for (auto& cell : cells) cell.store(-1, std::memory_order_relaxed);
+  }
+
   X x_;
   int t_;
   KbpProgram program_;
+  SynthesisOptions opt_;
   std::vector<std::vector<State>> states_;
   std::vector<std::vector<std::optional<Decision>>> decisions_;
   std::vector<AgentSet> nonfaulty_;
@@ -278,6 +585,23 @@ class KbpSynthesizer {
   std::vector<std::vector<Action>> last_actions_;
   std::vector<std::vector<std::vector<int>>> classes_;  ///< [agent][class]->worlds
   std::vector<std::vector<int>> class_of_;              ///< [world][agent]
+
+  // Per-round scratch (rebuilt in assign_actions; buffers reused).
+  std::vector<std::vector<Action>> actions_;     ///< round actions per world
+  std::vector<std::vector<char>> assigned_;      ///< stage-1 assignment mask
+  std::vector<char> jd0_;                        ///< any_jdecided0 per world
+  std::vector<std::size_t> reps_;                ///< signature representatives
+  std::vector<std::size_t> rep_of_;              ///< world -> representative
+  std::vector<std::vector<char>> class_jd0_;     ///< [agent][class]
+  std::vector<char> has_decider0_;               ///< per world, stage 2
+  std::vector<std::vector<char>> class_no_decider0_;  ///< [agent][class]
+  /// Tri-state memos (-1 unknown / 0 false / 1 true); atomics because
+  /// representative evaluation races benignly (all writers store the same
+  /// deterministic value).
+  mutable std::array<std::vector<std::atomic<signed char>>, 2> common_memo_;
+  mutable std::array<std::vector<std::vector<std::atomic<signed char>>>, 2>
+      class_common_;
+  mutable std::atomic<std::size_t> bfs_count_{0};
 };
 
 }  // namespace eba

@@ -19,16 +19,15 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <exception>
 #include <mutex>
 #include <span>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
 #include "exchange/exchange.hpp"
 #include "net/bus.hpp"
+#include "net/pool.hpp"
 #include "net/serialize.hpp"
 #include "sim/stepper.hpp"
 
@@ -100,12 +99,7 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
     instances.push_back({Stepper<X, P>(x, act, spec.alpha, spec.inits, t, sopt),
                          pool.acquire(spec.alpha)});
 
-  int workers = opt.workers > 0
-                    ? opt.workers
-                    : static_cast<int>(std::thread::hardware_concurrency());
-  if (workers < 1) workers = 1;
-  if (static_cast<std::size_t>(workers) > specs.size())
-    workers = static_cast<int>(specs.size());
+  const int workers = resolve_workers(opt.workers, specs.size());
   result.workers = workers;
 
   std::mutex mu;
@@ -113,7 +107,7 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
   std::deque<std::size_t> ready;
   for (std::size_t k = 0; k < specs.size(); ++k) ready.push_back(k);
   std::size_t remaining = specs.size();
-  std::exception_ptr error;
+  bool aborted = false;
 
   const Clock::time_point admitted = Clock::now();
 
@@ -204,7 +198,7 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
         // Another worker may have aborted (cleared the queue and zeroed
         // `remaining`) while this batch ran; touching the counter then
         // would underflow it and deadlock the pool.
-        if (error) return;
+        if (aborted) return;
         for (std::size_t idx : requeue) ready.push_back(idx);
         remaining -= completed_now;
         if (remaining == 0)
@@ -213,20 +207,19 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
           cv.notify_one();
       }
     } catch (...) {
-      std::lock_guard lock(mu);
-      if (!error) error = std::current_exception();
-      ready.clear();
-      remaining = 0;
+      // Unblock peers before letting run_workers capture the exception.
+      {
+        std::lock_guard lock(mu);
+        aborted = true;
+        ready.clear();
+        remaining = 0;
+      }
       cv.notify_all();
+      throw;
     }
   };
 
-  {
-    std::vector<std::jthread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main);
-  }
-  if (error) std::rethrow_exception(error);
+  run_workers(workers, [&](int /*worker*/) { worker_main(); });
 
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - admitted).count();

@@ -10,6 +10,7 @@
 //     respect to *different* exchanges).
 #include <gtest/gtest.h>
 
+#include "failure/canonical.hpp"
 #include "failure/generators.hpp"
 #include "sim/drivers.hpp"
 #include "stats/rng.hpp"
@@ -72,30 +73,37 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Domination,
                            return name;
                          });
 
-// Exhaustive domination check on the small context: P_opt never later than
+// Exhaustive domination check on small contexts: P_opt never later than
 // either limited-exchange protocol on any adversary with drops in the first
-// two rounds.
+// two rounds. One representative per renaming orbit suffices (per-agent
+// decision-round comparisons are relabeling-equivariant and every
+// preference vector is driven per orbit — tests/test_canonical.cpp), which
+// is what makes the n = 5 sweep affordable; the multiplicities are checked
+// to cover the unreduced space.
 TEST(DominationExhaustive, FipNeverLaterSmallContext) {
-  const int n = 4;
-  const int t = 1;
-  const auto fip = make_fip_driver(n, t);
-  const auto mini = make_min_driver(n, t);
-  const auto basic = make_basic_driver(n, t);
-  const auto prefs = all_preference_vectors(n);
-  enumerate_adversaries(
-      EnumerationConfig{.n = n, .t = t, .rounds = 2},
-      [&](const FailurePattern& alpha) {
-        for (const auto& p : prefs) {
-          const RunSummary f = fip(alpha, p);
-          const RunSummary m = mini(alpha, p);
-          const RunSummary b = basic(alpha, p);
-          for (AgentId i : alpha.nonfaulty()) {
-            EXPECT_LE(f.round_of(i), m.round_of(i));
-            EXPECT_LE(f.round_of(i), b.round_of(i));
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{4, 1}, {5, 1}}) {
+    const auto fip = make_fip_driver(n, t);
+    const auto mini = make_min_driver(n, t);
+    const auto basic = make_basic_driver(n, t);
+    const auto prefs = all_preference_vectors(n);
+    const EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
+    std::uint64_t covered = 0;
+    enumerate_canonical_adversaries(
+        cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
+          covered += multiplicity;
+          for (const auto& p : prefs) {
+            const RunSummary f = fip(alpha, p);
+            const RunSummary m = mini(alpha, p);
+            const RunSummary b = basic(alpha, p);
+            for (AgentId i : alpha.nonfaulty()) {
+              EXPECT_LE(f.round_of(i), m.round_of(i)) << "n=" << n;
+              EXPECT_LE(f.round_of(i), b.round_of(i)) << "n=" << n;
+            }
           }
-        }
-        return !::testing::Test::HasFailure();
-      });
+          return !::testing::Test::HasFailure();
+        });
+    EXPECT_EQ(covered, count_adversaries(cfg));
+  }
 }
 
 // P_basic strictly beats P_min on the failure-free all-ones run (round 2 vs

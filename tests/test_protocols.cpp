@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/spec.hpp"
+#include "failure/canonical.hpp"
 #include "failure/generators.hpp"
 #include "sim/drivers.hpp"
 
@@ -107,7 +108,12 @@ TEST(Example71, FipDecidesRoundThreeOthersRoundTwelve) {
 // Prop 6.1 / Prop 7.3 over every small adversary: all three protocols
 // satisfy the EBA spec (with validity even for faulty agents and the t+2
 // termination bound) on every SO(t) pattern with drops in the first two
-// rounds and every preference vector.
+// rounds and every preference vector. The sweep visits one representative
+// per agent-renaming orbit (failure/canonical.hpp): spec-satisfaction is
+// relabeling-invariant and all preference vectors are driven per orbit, so
+// representative coverage equals full coverage — which is what lets the
+// sweep reach n = 5 and n = 6 — and the orbit multiplicities are checked to
+// sum to the unreduced count.
 class ExhaustiveSpec : public ::testing::TestWithParam<Shape> {};
 
 TEST_P(ExhaustiveSpec, AllAdversariesAllPreferences) {
@@ -116,24 +122,32 @@ TEST_P(ExhaustiveSpec, AllAdversariesAllPreferences) {
   const auto prefs = all_preference_vectors(n);
   const auto drivers = paper_drivers(n, t);
   std::uint64_t checked = 0;
-  enumerate_adversaries(cfg, [&](const FailurePattern& alpha) {
-    for (const auto& p : prefs) {
-      for (const auto& [name, drive] : drivers) {
-        const RunSummary s = drive(alpha, p);
-        const SpecReport rep = check_eba(s.record);
-        EXPECT_TRUE(rep.ok_strict())
-            << name << ": " << (rep.violations.empty() ? "?" : rep.violations[0]);
-        ++checked;
-        if (::testing::Test::HasFailure()) return false;
-      }
-    }
-    return true;
-  });
+  std::uint64_t covered = 0;
+  enumerate_canonical_adversaries(
+      cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
+        covered += multiplicity;
+        for (const auto& p : prefs) {
+          for (const auto& [name, drive] : drivers) {
+            const RunSummary s = drive(alpha, p);
+            const SpecReport rep = check_eba(s.record);
+            EXPECT_TRUE(rep.ok_strict())
+                << name << ": "
+                << (rep.violations.empty() ? "?" : rep.violations[0]);
+            ++checked;
+            if (::testing::Test::HasFailure()) return false;
+          }
+        }
+        return true;
+      });
   EXPECT_GT(checked, 0u);
+  EXPECT_EQ(covered, count_adversaries(cfg))
+      << "orbit multiplicities must cover the whole space";
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ExhaustiveSpec,
-                         ::testing::Values(Shape{3, 1}, Shape{4, 1}),
+                         ::testing::Values(Shape{3, 1}, Shape{4, 1},
+                                           Shape{4, 2}, Shape{5, 1},
+                                           Shape{6, 1}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
                            std::string name = "n";
                            name += std::to_string(pinfo.param.n);
