@@ -15,7 +15,10 @@ completed than the baseline admitted. When synthesis reports are supplied
 synthesizer's headline wall time regressed >max-ratio against the committed
 baseline, if its same-machine speedup over the pre-optimization synthesizer
 fell below the minimum (5x), or if any synthesis point's decisions diverged
-from its reference.
+from its reference. When general-omissions reports are supplied (bench_go →
+BENCH_go.json), it fails if the headline canonical-orbit sweep regressed
+>max-ratio in wall time, if any sweep lost spec coverage or spec
+correctness, or if the Example-7.1 GO shortcut rows stopped holding.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -31,6 +34,7 @@ Usage:
       [--fresh-throughput fresh/BENCH_throughput.json] \
       [--baseline-synthesis BENCH_synthesis.json] \
       [--fresh-synthesis fresh/BENCH_synthesis.json] \
+      [--baseline-go BENCH_go.json] [--fresh-go fresh/BENCH_go.json] \
       [--max-ratio 2.0] [--min-speedup 5.0] [--min-synthesis-speedup 5.0]
 """
 
@@ -148,6 +152,40 @@ def check_synthesis(baseline_path, fresh_path, max_ratio, min_speedup,
                 f"from the reference protocol")
 
 
+def check_go(baseline_path, fresh_path, max_ratio, failures):
+    """Gates BENCH_go.json: headline sweep wall time, spec coverage, and the
+    Example-7.1 GO shortcut rows."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+
+    base_s = float(baseline["headline"]["seconds"])
+    fresh_s = float(fresh["headline"]["seconds"])
+    ratio = fresh_s / base_s if base_s > 0 else float("inf")
+    flag = " <-- REGRESSION" if ratio > max_ratio else ""
+    print(f"{'go headline sweep':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
+          f"{ratio:>7.2f}x{flag}")
+    if ratio > max_ratio:
+        failures.append(
+            f"go headline sweep: {fresh_s:.4f}s vs baseline {base_s:.4f}s "
+            f"({ratio:.2f}x slower > {max_ratio}x)")
+
+    for name in ("headline", "sweep_n5"):
+        sweep = fresh.get(name, {})
+        if not sweep.get("spec_ok", False):
+            failures.append(f"go {name}: EBA spec violated on a GO orbit")
+        if sweep.get("covered") != sweep.get("space"):
+            failures.append(
+                f"go {name}: orbit multiplicities cover "
+                f"{sweep.get('covered')} of {sweep.get('space')} patterns")
+    if not fresh.get("scale", {}).get("spec_ok", False):
+        failures.append("go scale point: EBA spec violated on a sampled run")
+    for name in ("example71_go", "example71_go_boundary"):
+        if not fresh.get(name, {}).get("ok", False):
+            failures.append(f"go {name}: expected decision rounds not met")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -162,6 +200,8 @@ def main():
                         help="committed BENCH_synthesis.json")
     parser.add_argument("--fresh-synthesis",
                         help="freshly generated BENCH_synthesis.json")
+    parser.add_argument("--baseline-go", help="committed BENCH_go.json")
+    parser.add_argument("--fresh-go", help="freshly generated BENCH_go.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
@@ -219,6 +259,11 @@ def main():
     elif args.baseline_synthesis:
         check_synthesis(args.baseline_synthesis, args.fresh_synthesis,
                         args.max_ratio, args.min_synthesis_speedup, failures)
+
+    if bool(args.baseline_go) != bool(args.fresh_go):
+        failures.append("--baseline-go and --fresh-go must be passed together")
+    elif args.baseline_go:
+        check_go(args.baseline_go, args.fresh_go, args.max_ratio, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

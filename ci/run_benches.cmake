@@ -75,6 +75,22 @@ else()
   message(WARNING "bench_synthesis binary not found; BENCH_synthesis.json not refreshed")
 endif()
 
+# --- bench_go: emits its own JSON on stdout ----------------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_go)
+  message(STATUS "Running bench_go (general-omissions sweeps, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_go
+    RESULT_VARIABLE go_rc
+    OUTPUT_VARIABLE go_out
+    ERROR_VARIABLE go_err)
+  if(NOT go_rc EQUAL 0)
+    message(FATAL_ERROR "bench_go failed (rc=${go_rc}):\n${go_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_go.json "${go_out}")
+else()
+  message(WARNING "bench_go binary not found; BENCH_go.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

@@ -21,7 +21,8 @@ void AdversaryIterator::start_faulty_set() {
         AgentSet::all(cfg_.n)
             .minus(AgentSet{idx_[static_cast<std::size_t>(s)]})
             .bits();
-  words_.assign(static_cast<std::size_t>(k_) *
+  const std::size_t planes = cfg_.model == FailureModel::general ? 2 : 1;
+  words_.assign(planes * static_cast<std::size_t>(k_) *
                     static_cast<std::size_t>(cfg_.rounds),
                 0);
 }
@@ -50,6 +51,18 @@ void AdversaryIterator::materialize() {
           words_[static_cast<std::size_t>(m) * static_cast<std::size_t>(k_) +
                  static_cast<std::size_t>(s)]);
       for (AgentId to : dropped) current_.drop(m, from, to);
+    }
+  if (cfg_.model != FailureModel::general) return;
+  const std::size_t recv_base =
+      static_cast<std::size_t>(cfg_.rounds) * static_cast<std::size_t>(k_);
+  for (int m = 0; m < cfg_.rounds; ++m)
+    for (int s = 0; s < k_; ++s) {
+      const AgentId to = idx_[static_cast<std::size_t>(s)];
+      const AgentSet dropped(
+          words_[recv_base +
+                 static_cast<std::size_t>(m) * static_cast<std::size_t>(k_) +
+                 static_cast<std::size_t>(s)]);
+      for (AgentId from : dropped) current_.drop_receive(m, from, to);
     }
 }
 

@@ -1,4 +1,4 @@
-// Lazy enumeration of the SO(t) adversary space.
+// Lazy enumeration of the SO(t) and GO(t) adversary spaces.
 //
 // The seed enumerator packed the whole drop tensor of a pattern into one
 // `uint64_t` counter, which capped exhaustive enumeration at 48 drop bits
@@ -11,6 +11,14 @@
 // significant), there is no ceiling on the total number of drop bits, and a
 // pattern only ever exists one at a time, so early-stopping consumers pay
 // for exactly what they visit.
+//
+// Under FailureModel::general the chain is doubled: after the send-plane
+// words comes one receive-drop word per (round, faulty receiver) — a sender
+// mask cycled with the same subset trick — so the GO(t) walk visits every
+// (send plane, receive plane) combination. The send-plane block is less
+// significant, which makes the first 2^(send bits) GO patterns of each
+// faulty set exactly the SO patterns of that set (empty receive plane); the
+// SO↔GO differential tests pin this prefix property.
 #pragma once
 
 #include <cstdint>
@@ -55,18 +63,29 @@ inline bool advance_drop_words(std::vector<std::uint64_t>& words,
 
 /// Parameters for exhaustive enumeration. `rounds` bounds the prefix in
 /// which drops may occur; later rounds are failure-free. The number of
-/// patterns is sum over faulty sets F of 2^(|F| * (n-1) * rounds) — there is
-/// no hard ceiling, but a non-early-stopping walk of a large config simply
-/// never terminates, so keep n, t and rounds small (or consume the
-/// symmetry-reduced enumeration in failure/canonical.hpp).
+/// patterns is sum over faulty sets F of 2^(|F| * (n-1) * rounds) for SO and
+/// 2^(2 * |F| * (n-1) * rounds) for GO — there is no hard ceiling, but a
+/// non-early-stopping walk of a large config simply never terminates, so
+/// keep n, t and rounds small (or consume the symmetry-reduced enumeration
+/// in failure/canonical.hpp).
 struct EnumerationConfig {
   int n = 3;
   int t = 1;
   int rounds = 2;
+  /// Which omission model's pattern space to walk. `sending` leaves every
+  /// pre-GO call site byte-identical; `general` adds the receive plane.
+  FailureModel model = FailureModel::sending;
 };
 
-/// Lazy iterator over every SO(t) failure pattern with drops confined to the
-/// first `rounds` rounds.
+/// The γ_go(n, t) context's adversary space: GO(t) patterns with drops (on
+/// either plane) confined to the first `rounds` rounds.
+[[nodiscard]] inline EnumerationConfig go_config(int n, int t, int rounds) {
+  return EnumerationConfig{
+      .n = n, .t = t, .rounds = rounds, .model = FailureModel::general};
+}
+
+/// Lazy iterator over every failure pattern of the configured model with
+/// drops confined to the first `rounds` rounds.
 ///
 ///   AdversaryIterator it(cfg);
 ///   while (const FailurePattern* p = it.next()) consume(*p);
@@ -95,8 +114,12 @@ class AdversaryIterator {
   bool done_ = false;
   std::vector<AgentId> idx_;     ///< combination walk over faulty sets
   AgentSet faulty_;
-  /// words_[m * k + s] = receiver mask dropped by the s-th faulty agent in
-  /// round m+1; allowed_[s] = all agents except that sender.
+  /// Send block: words_[m * k + s] = receiver mask dropped by the s-th
+  /// faulty agent in round m+1. Under FailureModel::general a receive block
+  /// of the same shape follows at offset rounds * k: words_[rounds * k +
+  /// m * k + s] = sender mask receive-dropped by the s-th faulty agent in
+  /// round m+1. allowed_[s] = all agents except the s-th faulty agent, the
+  /// legal mask for both of its blocks.
   std::vector<std::uint64_t> words_;
   std::vector<std::uint64_t> allowed_;
   FailurePattern current_;

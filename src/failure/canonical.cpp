@@ -52,22 +52,32 @@ std::uint64_t permute_bits(std::uint64_t mask,
   return out;
 }
 
-/// A fixed-partition drop tensor: faulty senders are {0..k-1} and
-/// words[m * k + s] is the receiver mask dropped by sender s in round m+1.
+/// A fixed-partition drop tensor: faulty agents are {0..k-1} and
+/// words[m * k + s] is the receiver mask send-dropped by sender s in round
+/// m+1. For GO patterns (planes == 2) a receive block of the same shape
+/// follows at offset rounds * k: words[rounds * k + m * k + s] is the
+/// sender mask receive-dropped by receiver s in round m+1. The group acts
+/// identically on every row, so the canonicalization loops below only care
+/// about the flat row count planes * rounds.
 struct Slice {
   int n = 0;
   int k = 0;
   int rounds = 0;
+  int planes = 1;  ///< 1 = send plane only (SO), 2 = send + receive (GO)
   std::vector<std::uint64_t> words;
+  [[nodiscard]] int rows() const { return planes * rounds; }
 };
 
 Slice slice_of(const FailurePattern& p) {
   Slice s;
   s.n = p.n();
   s.k = p.num_faulty();
-  s.rounds = p.recorded_rounds();
-  s.words.assign(static_cast<std::size_t>(s.k) *
-                     static_cast<std::size_t>(s.rounds),
+  s.planes = p.has_receive_drops() ? 2 : 1;
+  s.rounds = s.planes == 2 ? std::max(p.recorded_rounds(),
+                                      p.recorded_receive_rounds())
+                           : p.recorded_rounds();
+  s.words.assign(static_cast<std::size_t>(s.rows()) *
+                     static_cast<std::size_t>(s.k),
                  0);
   // Relabel faulty agents to {0..k-1} and nonfaulty to {k..n-1}, both in
   // ascending id order (any coset choice works: the subgroup min below is
@@ -90,6 +100,17 @@ Slice slice_of(const FailurePattern& p) {
               static_cast<std::size_t>(
                   map[static_cast<std::size_t>(senders[j])])] =
           permute_bits(p.dropped(m, senders[j]).bits(), map);
+  if (s.planes == 2) {
+    const std::size_t recv_base = static_cast<std::size_t>(s.rounds) *
+                                  static_cast<std::size_t>(s.k);
+    for (int m = 0; m < s.rounds; ++m)
+      for (std::size_t j = 0; j < senders.size(); ++j)
+        s.words[recv_base +
+                static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k) +
+                static_cast<std::size_t>(
+                    map[static_cast<std::size_t>(senders[j])])] =
+            permute_bits(p.dropped_receive(m, senders[j]).bits(), map);
+  }
   return s;
 }
 
@@ -98,7 +119,7 @@ Slice slice_of(const FailurePattern& p) {
 /// with early exit. Returns -1 / 0 / +1.
 int compare_image(const Slice& s, const std::vector<AgentId>& perm,
                   const std::vector<AgentId>& inv) {
-  for (int m = 0; m < s.rounds; ++m) {
+  for (int m = 0; m < s.rows(); ++m) {
     const std::size_t row =
         static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
     for (int out = 0; out < s.k; ++out) {
@@ -156,7 +177,7 @@ std::uint64_t slice_multiplicity(const Slice& s, const Subgroup& g) {
           slice_stabilizer(s, g));
 }
 
-FailurePattern pattern_of_slice(int n, int k, int rounds,
+FailurePattern pattern_of_slice(int n, int k, int rounds, int planes,
                                 const std::vector<std::uint64_t>& words) {
   AgentSet faulty;
   for (AgentId i = 0; i < k; ++i) faulty.insert(i);
@@ -168,6 +189,18 @@ FailurePattern pattern_of_slice(int n, int k, int rounds,
                               static_cast<std::size_t>(k) +
                           static_cast<std::size_t>(s)]))
         p.drop(m, s, to);
+  if (planes == 2) {
+    const std::size_t recv_base =
+        static_cast<std::size_t>(rounds) * static_cast<std::size_t>(k);
+    for (int m = 0; m < rounds; ++m)
+      for (int s = 0; s < k; ++s)
+        for (AgentId from :
+             AgentSet(words[recv_base +
+                            static_cast<std::size_t>(m) *
+                                static_cast<std::size_t>(k) +
+                            static_cast<std::size_t>(s)]))
+          p.drop_receive(m, from, s);
+  }
   return p;
 }
 
@@ -185,6 +218,11 @@ FailurePattern relabeled(const FailurePattern& p,
       for (AgentId to : p.dropped(m, from))
         out.drop(m, perm[static_cast<std::size_t>(from)],
                  perm[static_cast<std::size_t>(to)]);
+  for (int m = 0; m < p.recorded_receive_rounds(); ++m)
+    for (AgentId to : p.faulty())
+      for (AgentId from : p.dropped_receive(m, to))
+        out.drop_receive(m, perm[static_cast<std::size_t>(from)],
+                         perm[static_cast<std::size_t>(to)]);
   return out;
 }
 
@@ -207,7 +245,7 @@ FailurePattern canonicalize(const FailurePattern& p) {
   std::vector<std::uint64_t> best = s.words;
   std::vector<std::uint64_t> img(s.words.size());
   for (std::size_t gi = 1; gi < g.perms.size(); ++gi) {
-    for (int m = 0; m < s.rounds; ++m) {
+    for (int m = 0; m < s.rows(); ++m) {
       const std::size_t row =
           static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
       for (int out = 0; out < s.k; ++out)
@@ -220,7 +258,7 @@ FailurePattern canonicalize(const FailurePattern& p) {
                                      best.end()))
       best = img;
   }
-  return pattern_of_slice(s.n, s.k, s.rounds, best);
+  return pattern_of_slice(s.n, s.k, s.rounds, s.planes, best);
 }
 
 std::uint64_t orbit_size(const FailurePattern& p) {
@@ -245,7 +283,7 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
   std::vector<std::vector<std::uint64_t>> images;
   std::vector<std::uint64_t> img(s.words.size());
   for (std::size_t gi = 0; gi < g.perms.size(); ++gi) {
-    for (int m = 0; m < s.rounds; ++m) {
+    for (int m = 0; m < s.rows(); ++m) {
       const std::size_t row =
           static_cast<std::size_t>(m) * static_cast<std::size_t>(s.k);
       for (int out = 0; out < s.k; ++out)
@@ -290,6 +328,19 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
                               static_cast<std::size_t>(snd)]))
             p.drop(m, map[static_cast<std::size_t>(snd)],
                    map[static_cast<std::size_t>(to)]);
+      if (s.planes == 2) {
+        const std::size_t recv_base = static_cast<std::size_t>(s.rounds) *
+                                      static_cast<std::size_t>(s.k);
+        for (int m = 0; m < s.rounds; ++m)
+          for (int rcv = 0; rcv < s.k; ++rcv)
+            for (AgentId from :
+                 AgentSet(words[recv_base +
+                                static_cast<std::size_t>(m) *
+                                    static_cast<std::size_t>(s.k) +
+                                static_cast<std::size_t>(rcv)]))
+              p.drop_receive(m, map[static_cast<std::size_t>(from)],
+                             map[static_cast<std::size_t>(rcv)]);
+      }
       out.push_back(std::move(p));
     }
     if (!some_subset || !detail::next_combination(idx, s.n)) break;
@@ -317,8 +368,9 @@ std::uint64_t enumerate_canonical_adversaries(
     s.n = cfg.n;
     s.k = k;
     s.rounds = cfg.rounds;
-    s.words.assign(static_cast<std::size_t>(k) *
-                       static_cast<std::size_t>(cfg.rounds),
+    s.planes = cfg.model == FailureModel::general ? 2 : 1;
+    s.words.assign(static_cast<std::size_t>(s.rows()) *
+                       static_cast<std::size_t>(k),
                    0);
     std::vector<std::uint64_t> allowed(static_cast<std::size_t>(k));
     for (int snd = 0; snd < k; ++snd)
@@ -331,7 +383,7 @@ std::uint64_t enumerate_canonical_adversaries(
         const std::uint64_t multiplicity =
             choose(cfg.n, k) *
             (static_cast<std::uint64_t>(g.perms.size()) / *stab);
-        if (!fn(pattern_of_slice(cfg.n, k, cfg.rounds, s.words),
+        if (!fn(pattern_of_slice(cfg.n, k, cfg.rounds, s.planes, s.words),
                 multiplicity))
           return orbits;
       }
@@ -385,7 +437,8 @@ std::optional<std::uint64_t> try_count_canonical_adversaries(
         }
       }
       const long long exponent =
-          static_cast<long long>(cfg.rounds) * cycles;
+          static_cast<long long>(cfg.model == FailureModel::general ? 2 : 1) *
+          cfg.rounds * cycles;
       if (exponent > 126) return std::nullopt;
       const unsigned __int128 fixed = static_cast<unsigned __int128>(1)
                                       << exponent;

@@ -1,20 +1,21 @@
-// Symmetry reduction of the SO(t) adversary space (cf. ROADMAP
+// Symmetry reduction of the SO(t) and GO(t) adversary spaces (cf. ROADMAP
 // "failure-pattern generator scaling"; the same lever epistemic model
 // checkers like MCK use against state-space blowup).
 //
-// Why renaming is a symmetry: nothing in the SO(t) context distinguishes one
-// agent id from another — the enumeration ranges over *all* faulty sets and
-// *all* drop tensors, and the library's protocols (P_min, P_basic, P_opt)
-// treat agents symmetrically (their decisions depend on initial values and
-// received messages, never on numeric ids). Relabeling the agents of a
-// failure pattern α by any permutation π therefore yields a pattern π·α
-// whose runs are the agent-relabeled runs of α: run(π·α, π·prefs) makes
-// agent π(i) do exactly what agent i does in run(α, prefs)
-// (tests/test_canonical.cpp checks this equivariance mechanically). Any
-// whole-space sweep of a relabeling-invariant property — spec violations,
-// worst decision rounds, message-bit totals — may consequently visit one
-// representative per orbit of the S_n action and weight it by the orbit
-// size, instead of visiting every pattern.
+// Why renaming is a symmetry: nothing in the SO(t)/GO(t) contexts
+// distinguishes one agent id from another — the enumeration ranges over
+// *all* faulty sets and *all* drop tensors, and the library's protocols
+// (P_min, P_basic, P_opt, P_opt_go) treat agents symmetrically (their
+// decisions depend on initial values and received messages, never on
+// numeric ids). Relabeling the agents of a failure pattern α by any
+// permutation π therefore yields a pattern π·α whose runs are the
+// agent-relabeled runs of α: run(π·α, π·prefs) makes agent π(i) do exactly
+// what agent i does in run(α, prefs) (tests/test_canonical.cpp checks this
+// equivariance mechanically). Any whole-space sweep of a
+// relabeling-invariant property — spec violations, worst decision rounds,
+// message-bit totals — may consequently visit one representative per orbit
+// of the S_n action and weight it by the orbit size, instead of visiting
+// every pattern.
 //
 // In particular "renaming within the faulty/nonfaulty partition": every
 // permutation maps the faulty set onto the image pattern's faulty set, so an
@@ -24,9 +25,19 @@
 // senders among themselves and nonfaulty agents among themselves (receivers
 // of either kind are relabeled along).
 //
+// Under general omissions the renaming acts on BOTH planes at once: π·α
+// send-drops (m, π(i) → π(j)) iff α send-drops (m, i → j) and
+// receive-drops (m, π(i) → π(j)) iff α receive-drops (m, i → j). An orbit
+// is therefore an orbit of the *pair* of tensors, and two GO patterns with
+// the same send plane but different receive planes are in different orbits
+// (unless a permutation maps one pair onto the other). Since only faulty
+// agents carry drops on either plane, the same S_k × S_{n-k} stabilizer
+// machinery applies with the tensor doubled.
+//
 // The canonical representative of an orbit is the pattern with faulty set
 // {0..k-1} whose drop tensor (per-(round, sender) receiver masks, compared
-// round-major) is lexicographically minimal under S_k × S_{n-k}.
+// round-major, with the receive-plane block after the send-plane block) is
+// lexicographically minimal under S_k × S_{n-k}.
 //
 // NOTE for knowledge-based model checks: epistemic operators are NOT
 // invariant under *dropping* orbit members — removing a run from an
@@ -74,21 +85,23 @@ inline constexpr int kMaxCanonicalAgents = 10;
 [[nodiscard]] std::vector<FailurePattern> expand_orbit(
     const FailurePattern& rep);
 
-/// Invokes `fn(representative, multiplicity)` once per orbit of the SO(t)
-/// space of `cfg`, where multiplicity = orbit_size(representative), so that
-/// the multiplicities over all visited orbits sum to exactly
-/// count_adversaries(cfg). Stops early when fn returns false. Returns the
-/// number of orbits visited.
+/// Invokes `fn(representative, multiplicity)` once per orbit of the
+/// cfg.model space of `cfg` (SO or GO), where multiplicity =
+/// orbit_size(representative), so that the multiplicities over all visited
+/// orbits sum to exactly count_adversaries(cfg). Stops early when fn returns
+/// false. Returns the number of orbits visited.
 std::uint64_t enumerate_canonical_adversaries(
     const EnumerationConfig& cfg,
     const std::function<bool(const FailurePattern&, std::uint64_t)>& fn);
 
 /// Number of orbits enumerate_canonical_adversaries visits, computed in
 /// closed form by Burnside's lemma (no enumeration): for each k,
-/// (1/|S_k × S_{n-k}|) * sum over group elements of 2^(rounds * #cycles of
-/// the element's action on (sender, receiver) cells). Overflow-checked:
-/// nullopt when any intermediate exceeds the checked 128-bit accumulator or
-/// the result exceeds uint64.
+/// (1/|S_k × S_{n-k}|) * sum over group elements of 2^(planes * rounds *
+/// #cycles of the element's action on (sender, receiver) cells), where
+/// planes is 1 for SO and 2 for GO (the action on receive-plane cells is
+/// isomorphic to the action on send-plane cells, so the cycle count simply
+/// doubles). Overflow-checked: nullopt when any intermediate exceeds the
+/// checked 128-bit accumulator or the result exceeds uint64.
 [[nodiscard]] std::optional<std::uint64_t> try_count_canonical_adversaries(
     const EnumerationConfig& cfg);
 

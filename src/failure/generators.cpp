@@ -23,15 +23,18 @@ std::optional<std::uint64_t> try_count_adversaries(
   // uint64 even when the final count fits (e.g. C(63,31) * 32), and each
   // combos term stays < 2^124, so the running total is checked after every
   // addition and never overflows the accumulator.
+  // GO doubles the drop bits per faulty agent: a send word and a receive
+  // word per (round, faulty agent).
+  const int planes = cfg.model == FailureModel::general ? 2 : 1;
   unsigned __int128 total = 0;
   for (int k = 0; k <= cfg.t; ++k) {
-    // C(n, k) faulty sets, each with 2^(k*(n-1)*rounds) drop combos.
+    // C(n, k) faulty sets, each with 2^(planes*k*(n-1)*rounds) drop combos.
     unsigned __int128 choose = 1;
     for (int i = 0; i < k; ++i)
       choose = choose * static_cast<unsigned>(cfg.n - i) /
                static_cast<unsigned>(i + 1);
     const long long shift =
-        static_cast<long long>(k) * (cfg.n - 1) * cfg.rounds;
+        static_cast<long long>(planes) * k * (cfg.n - 1) * cfg.rounds;
     if (k > 0 && shift >= 64) return std::nullopt;  // 2^shift alone > uint64
     total += choose << shift;
     if (total > kMax) return std::nullopt;
@@ -45,6 +48,19 @@ std::uint64_t count_adversaries(const EnumerationConfig& cfg) {
               "adversary count overflows uint64; use try_count_adversaries "
               "or the orbit counts in failure/canonical.hpp");
   return *count;
+}
+
+std::optional<std::uint64_t> try_count_go_adversaries(
+    const EnumerationConfig& cfg) {
+  EnumerationConfig go = cfg;
+  go.model = FailureModel::general;
+  return try_count_adversaries(go);
+}
+
+std::uint64_t count_go_adversaries(const EnumerationConfig& cfg) {
+  EnumerationConfig go = cfg;
+  go.model = FailureModel::general;
+  return count_adversaries(go);
 }
 
 FailurePattern sample_adversary(int n, int num_faulty, int rounds,
@@ -64,6 +80,18 @@ FailurePattern sample_adversary(int n, int num_faulty, int rounds,
     for (AgentId from : faulty)
       for (AgentId to = 0; to < n; ++to)
         if (to != from && rng.chance(drop_prob)) p.drop(m, from, to);
+  return p;
+}
+
+FailurePattern sample_go_adversary(int n, int num_faulty, int rounds,
+                                   double drop_prob, double recv_drop_prob,
+                                   Rng& rng) {
+  FailurePattern p = sample_adversary(n, num_faulty, rounds, drop_prob, rng);
+  for (int m = 0; m < rounds; ++m)
+    for (AgentId to : p.faulty())
+      for (AgentId from = 0; from < n; ++from)
+        if (from != to && rng.chance(recv_drop_prob))
+          p.drop_receive(m, from, to);
   return p;
 }
 
@@ -89,6 +117,12 @@ std::vector<Value> sample_preferences(int n, Rng& rng) {
 FailurePattern silent_agents_pattern(int n, AgentSet silent, int rounds) {
   FailurePattern p(n, silent.complement(n));
   for (AgentId i : silent) p.silence_forever(i, rounds);
+  return p;
+}
+
+FailurePattern deaf_mute_agents_pattern(int n, AgentSet silent, int rounds) {
+  FailurePattern p = silent_agents_pattern(n, silent, rounds);
+  for (AgentId i : silent) p.deafen_forever(i, rounds);
   return p;
 }
 

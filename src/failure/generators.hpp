@@ -1,7 +1,9 @@
-// Adversary generators: exhaustive enumeration of SO(t) patterns over a
-// bounded round prefix (for model checking and small exhaustive tests),
+// Adversary generators: exhaustive enumeration of SO(t)/GO(t) patterns over
+// a bounded round prefix (for model checking and small exhaustive tests),
 // random sampling (for property tests and benches), and the canned scenarios
-// used by the paper's examples.
+// used by the paper's examples. The model is selected by
+// EnumerationConfig::model (adversary_iter.hpp); every counting function is
+// overflow-checked for both models from day one — there is no silent wrap.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +17,10 @@
 
 namespace eba {
 
-/// Invokes `fn` on every SO(t) failure pattern with drops confined to the
-/// first `rounds` rounds (lazily, via AdversaryIterator — no ceiling on the
-/// drop-bit count). Returns the number of patterns visited. If `fn` returns
-/// false, enumeration stops early.
+/// Invokes `fn` on every failure pattern of `config.model` with drops
+/// confined to the first `rounds` rounds (lazily, via AdversaryIterator — no
+/// ceiling on the drop-bit count). Returns the number of patterns visited.
+/// If `fn` returns false, enumeration stops early.
 ///
 /// The space is exponential; full walks are only feasible for small
 /// (n, t, rounds). For relabeling-invariant sweeps, the symmetry-reduced
@@ -28,9 +30,9 @@ std::uint64_t enumerate_adversaries(
     const EnumerationConfig& config,
     const std::function<bool(const FailurePattern&)>& fn);
 
-/// Number of patterns enumerate_adversaries would visit
-/// (sum over k <= t of C(n,k) * 2^(k*(n-1)*rounds)), or nullopt if the
-/// count overflows uint64.
+/// Number of patterns enumerate_adversaries would visit — sum over k <= t of
+/// C(n,k) * 2^(k*(n-1)*rounds) for SO and C(n,k) * 2^(2*k*(n-1)*rounds) for
+/// GO — or nullopt if the count overflows uint64.
 [[nodiscard]] std::optional<std::uint64_t> try_count_adversaries(
     const EnumerationConfig& config);
 
@@ -38,12 +40,28 @@ std::uint64_t enumerate_adversaries(
 /// error instead of silently wrapping when the count overflows uint64.
 [[nodiscard]] std::uint64_t count_adversaries(const EnumerationConfig& config);
 
+/// Convenience twins for the GO(t) space: the count of `config` with
+/// model = general, regardless of what `config.model` says.
+[[nodiscard]] std::optional<std::uint64_t> try_count_go_adversaries(
+    const EnumerationConfig& config);
+[[nodiscard]] std::uint64_t count_go_adversaries(
+    const EnumerationConfig& config);
+
 /// Samples an SO(t) pattern: chooses `num_faulty` distinct faulty agents
 /// uniformly, then drops each (round, faulty sender, receiver) message
 /// independently with probability `drop_prob`, over the first `rounds`
 /// rounds.
 [[nodiscard]] FailurePattern sample_adversary(int n, int num_faulty, int rounds,
                                               double drop_prob, Rng& rng);
+
+/// Samples a GO(t) pattern: faulty agents as in sample_adversary, then each
+/// (round, faulty sender, receiver) message is send-dropped with probability
+/// `drop_prob` and each (round, sender, faulty receiver) message is
+/// receive-dropped with probability `recv_drop_prob`, independently.
+[[nodiscard]] FailurePattern sample_go_adversary(int n, int num_faulty,
+                                                 int rounds, double drop_prob,
+                                                 double recv_drop_prob,
+                                                 Rng& rng);
 
 /// All initial-preference vectors for n agents (2^n of them).
 [[nodiscard]] std::vector<std::vector<Value>> all_preference_vectors(int n);
@@ -55,6 +73,12 @@ std::uint64_t enumerate_adversaries(
 /// messages during the first `rounds` rounds.
 [[nodiscard]] FailurePattern silent_agents_pattern(int n, AgentSet silent,
                                                    int rounds);
+
+/// The GO analogue of the Example 7.1 scenario: the agents in `silent` are
+/// faulty and neither send nor receive during the first `rounds` rounds
+/// (deaf and mute). Used by the Example71Go test and bench_go.
+[[nodiscard]] FailurePattern deaf_mute_agents_pattern(int n, AgentSet silent,
+                                                      int rounds);
 
 /// Crash scenario: agent `who` crashes in round `round+1`, delivering only to
 /// `survivors_of_round` in that round and nothing afterwards (through round

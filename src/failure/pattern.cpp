@@ -15,6 +15,13 @@ void FailurePattern::ensure_round(int m) {
                   std::vector<AgentSet>(static_cast<std::size_t>(n_)));
 }
 
+void FailurePattern::ensure_receive_round(int m) {
+  EBA_REQUIRE(m >= 0, "negative round");
+  if (static_cast<int>(recv_drops_.size()) <= m)
+    recv_drops_.resize(static_cast<std::size_t>(m) + 1,
+                       std::vector<AgentSet>(static_cast<std::size_t>(n_)));
+}
+
 void FailurePattern::drop(int m, AgentId from, AgentId to) {
   EBA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_, "agent out of range");
   EBA_REQUIRE(from != to, "self-delivery cannot be dropped");
@@ -22,6 +29,16 @@ void FailurePattern::drop(int m, AgentId from, AgentId to) {
               "sending omissions only affect faulty senders");
   ensure_round(m);
   drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)].insert(to);
+}
+
+void FailurePattern::drop_receive(int m, AgentId from, AgentId to) {
+  EBA_REQUIRE(from >= 0 && from < n_ && to >= 0 && to < n_, "agent out of range");
+  EBA_REQUIRE(from != to, "self-delivery cannot be dropped");
+  EBA_REQUIRE(!nonfaulty_.contains(to),
+              "receive omissions only affect faulty receivers");
+  ensure_receive_round(m);
+  recv_drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(to)].insert(
+      from);
 }
 
 void FailurePattern::silence(int m, AgentId from) {
@@ -33,16 +50,43 @@ void FailurePattern::silence_forever(AgentId from, int rounds) {
   for (int m = 0; m < rounds; ++m) silence(m, from);
 }
 
+void FailurePattern::deafen(int m, AgentId to) {
+  for (AgentId from = 0; from < n_; ++from)
+    if (from != to) drop_receive(m, from, to);
+}
+
+void FailurePattern::deafen_forever(AgentId to, int rounds) {
+  for (int m = 0; m < rounds; ++m) deafen(m, to);
+}
+
 bool FailurePattern::delivered(int m, AgentId from, AgentId to) const {
   if (from == to) return true;
-  if (m < 0 || m >= static_cast<int>(drops_.size())) return true;
-  return !drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)]
-              .contains(to);
+  if (m >= 0 && m < static_cast<int>(drops_.size()) &&
+      drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)]
+          .contains(to))
+    return false;
+  if (m >= 0 && m < static_cast<int>(recv_drops_.size()) &&
+      recv_drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(to)]
+          .contains(from))
+    return false;
+  return true;
 }
 
 AgentSet FailurePattern::dropped(int m, AgentId from) const {
   if (m < 0 || m >= static_cast<int>(drops_.size())) return {};
   return drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(from)];
+}
+
+AgentSet FailurePattern::dropped_receive(int m, AgentId to) const {
+  if (m < 0 || m >= static_cast<int>(recv_drops_.size())) return {};
+  return recv_drops_[static_cast<std::size_t>(m)][static_cast<std::size_t>(to)];
+}
+
+bool FailurePattern::has_receive_drops() const {
+  for (const auto& round : recv_drops_)
+    for (const AgentSet& row : round)
+      if (!row.empty()) return true;
+  return false;
 }
 
 bool FailurePattern::is_crash() const {

@@ -6,10 +6,21 @@
 // to k was delivered (label 1), knows it was omitted (label 0), or does not
 // know (?). It also records the initial preferences i knows.
 //
-// Labels encode *delivery* knowledge: under sending omissions, a sender does
-// not learn whether its own messages were omitted, so an agent's outgoing
-// edges stay `?` until some receiver's report is relayed back. Incoming
-// edges are always 0/1 (a synchronous receiver detects absence).
+// Labels encode *delivery* knowledge, and the same representation serves
+// both omission models; what differs per model is the fault attribution a
+// label supports, not the label itself:
+//
+//   * In either model a sender does not learn whether its own messages
+//     arrived, so an agent's outgoing edges stay `?` until some receiver's
+//     report is relayed back, and incoming edges are always 0/1 (a
+//     synchronous receiver detects absence).
+//   * Under sending omissions SO(t), a 0 label convicts the SENDER — only
+//     faulty senders lose messages — which is what the f/D fault operators
+//     (graph/knowledge.hpp) exploit.
+//   * Under general omissions GO(t), a 0 label only proves "sender or
+//     receiver faulty" (the message may have been receive-dropped), so
+//     fault knowledge becomes clause/vertex-cover reasoning over the same
+//     labels (OmissionEvidence / go_known_faults in graph/knowledge.hpp).
 //
 // Storage is bit-packed in two planes, round-major with one n-bit row per
 // (round, receiver):

@@ -24,7 +24,98 @@ std::vector<AgentSet> fault_rows_flat(const CommGraph& g, int up_to) {
   return f;
 }
 
+/// Evidence-table rows 0..up_to (inclusive), flat row-major with stride n —
+/// the GO twin of fault_rows_flat. Row m derives from row m-1 the same way:
+/// j's definite-absent round-(m-1→m) senders join as fresh clauses, and each
+/// definite-present sender contributes its previous evidence.
+std::vector<OmissionEvidence> go_evidence_rows_flat(const CommGraph& g,
+                                                    int up_to) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  std::vector<OmissionEvidence> e((static_cast<std::size_t>(up_to) + 1) * n,
+                                  OmissionEvidence(g.n()));
+  for (int m = 1; m <= up_to; ++m) {
+    const OmissionEvidence* prev =
+        e.data() + (static_cast<std::size_t>(m) - 1) * n;
+    OmissionEvidence* cur = e.data() + static_cast<std::size_t>(m) * n;
+    for (AgentId j = 0; j < g.n(); ++j) {
+      OmissionEvidence acc = prev[j];
+      acc.add_senders(g.absent_senders(m - 1, j), j);
+      for (AgentId from : g.present_senders(m - 1, j))
+        acc.unite(prev[from]);
+      cur[j] = std::move(acc);
+    }
+  }
+  return e;
+}
+
+/// Branch-on-an-uncovered-clause search for a <= budget cover avoiding
+/// `avoid`. `removed` = endpoints already placed in the cover.
+bool cover_search(const OmissionEvidence& e, AgentSet removed, AgentSet avoid,
+                  int budget) {
+  for (AgentId a = 0; a < e.n(); ++a) {
+    if (removed.contains(a)) continue;
+    const AgentSet rest = e.adj(a).minus(removed);
+    if (rest.empty()) continue;
+    if (budget == 0) return false;
+    const AgentId b = *rest.begin();
+    // The clause {a, b} must be covered by a or b.
+    if (!avoid.contains(a) &&
+        cover_search(e, removed.united(AgentSet{a}), avoid, budget - 1))
+      return true;
+    if (!avoid.contains(b) &&
+        cover_search(e, removed.united(AgentSet{b}), avoid, budget - 1))
+      return true;
+    return false;
+  }
+  return true;  // every clause covered
+}
+
 }  // namespace
+
+bool go_cover_exists(const OmissionEvidence& e, int budget, AgentSet avoid) {
+  EBA_REQUIRE(budget >= 0, "negative fault budget");
+  return cover_search(e, AgentSet{}, avoid, budget);
+}
+
+AgentSet go_known_faults(const OmissionEvidence& e, int t) {
+  EBA_REQUIRE(go_cover_exists(e, t, AgentSet{}),
+              "omission evidence is inconsistent with the GO(t) budget");
+  AgentSet forced;
+  for (AgentId x : e.implicated())
+    if (!go_cover_exists(e, t, AgentSet{x})) forced.insert(x);
+  return forced;
+}
+
+AgentSet go_possibly_faulty(const OmissionEvidence& e, int t) {
+  EBA_REQUIRE(t >= 0, "negative fault budget");
+  AgentSet possible;
+  if (t == 0) return possible;
+  for (AgentId x = 0; x < e.n(); ++x)
+    // A cover containing x: x covers its own clauses, the rest must be
+    // coverable with the remaining budget.
+    if (cover_search(e, AgentSet{x}, AgentSet{}, t - 1)) possible.insert(x);
+  return possible;
+}
+
+OmissionEvidence go_evidence(const CommGraph& g, AgentId j, int m) {
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
+  EBA_REQUIRE(j >= 0 && j < g.n(), "agent id out of range");
+  const auto rows = go_evidence_rows_flat(g, m);
+  return rows[static_cast<std::size_t>(m) * static_cast<std::size_t>(g.n()) +
+              static_cast<std::size_t>(j)];
+}
+
+std::vector<std::vector<OmissionEvidence>> go_evidence_table(
+    const CommGraph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  const auto flat = go_evidence_rows_flat(g, g.time());
+  std::vector<std::vector<OmissionEvidence>> e(
+      static_cast<std::size_t>(g.time()) + 1);
+  for (std::size_t m = 0; m < e.size(); ++m)
+    e[m].assign(flat.begin() + static_cast<std::ptrdiff_t>(m * n),
+                flat.begin() + static_cast<std::ptrdiff_t>((m + 1) * n));
+  return e;
+}
 
 Cone::Cone(const CommGraph& g, AgentId target, int m_top)
     : m_top_(m_top), last_heard_(static_cast<std::size_t>(g.n()), -1) {
@@ -52,6 +143,8 @@ void KnowledgeCache::sync(const CommGraph& g) {
   revision_ = g.revision();
   have_faults_ = false;
   faults_.clear();
+  have_go_evidence_ = false;
+  go_evidence_.clear();
   cones_.clear();
 }
 
@@ -64,6 +157,18 @@ std::span<const AgentSet> KnowledgeCache::fault_row(const CommGraph& g, int m) {
   }
   EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
   return {faults_.data() + static_cast<std::size_t>(m) * n, n};
+}
+
+std::span<const OmissionEvidence> KnowledgeCache::go_evidence_row(
+    const CommGraph& g, int m) {
+  sync(g);
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  if (!have_go_evidence_) {
+    go_evidence_ = go_evidence_rows_flat(g, g.time());
+    have_go_evidence_ = true;
+  }
+  EBA_REQUIRE(m >= 0 && m <= g.time(), "time out of range");
+  return {go_evidence_.data() + static_cast<std::size_t>(m) * n, n};
 }
 
 const Cone& KnowledgeCache::cone(const CommGraph& g, AgentId target, int m_top) {

@@ -4,20 +4,38 @@
 //   extract_view — G_{j,m'}: the graph agent j had at time m', reconstructed
 //                  from the graph of an agent that heard from (j, m')
 //   known_faults — f(j, m', G): faulty agents the graph owner knows that j
-//                  knew about at time m'
+//                  knew about at time m' (sending-omissions attribution: an
+//                  absent edge convicts its sender)
 //   distributed_faults — D(S, m', G)
 //   known_values — V(j, m', G): initial values the owner knows j knew
 //   last_heard   — last_{ij}: the last time m' with (j, m') in the cone
 //
-// All of these are polynomial-time in the size of the graph; they are the
-// machinery behind the polynomial-time optimal FIP P_opt (Prop. 7.9). They
-// consume the graph's packed receiver rows word-parallel: a cone frontier
-// step is one OR per frontier member and a fault-row update one OR per
-// definite-absent row.
+// plus the general-omissions fault machinery: under GO an absent edge
+// (i → j) only proves "i or j is faulty", so fault knowledge is clause
+// (vertex-cover) reasoning instead of direct sender blame:
 //
-// KnowledgeCache memoizes cones and the fault table per graph *revision*, so
-// the P_opt tests — which interrogate the same graph several times per round
-// — rebuild derived knowledge only when the graph actually changes.
+//   OmissionEvidence   — the symmetric missing-edge clause set an agent has
+//                        accumulated (one clause {sender, receiver} per
+//                        definite-absent edge it knows of)
+//   go_evidence / go_evidence_rows — the GO analogue of the f recurrence:
+//                        the clause set the owner knows j had at time m'
+//   go_cover_exists    — is the evidence explainable by <= budget faults
+//                        avoiding a given agent set?
+//   go_known_faults    — agents in *every* <= t cover of the evidence (the
+//                        faults an agent provably knows under GO(t))
+//
+// All of these are polynomial-time in the size of the graph for fixed t
+// (the cover search branches two ways per spent budget unit, so it costs
+// O(2^t · n) word operations per query); they are the machinery behind the
+// polynomial-time protocols P_opt (Prop. 7.9) and its GO variant. They
+// consume the graph's packed receiver rows word-parallel: a cone frontier
+// step is one OR per frontier member and a fault-row or evidence-row update
+// one OR per definite-absent row.
+//
+// KnowledgeCache memoizes cones, the fault table and the GO evidence table
+// per graph *revision*, so the P_opt tests — which interrogate the same
+// graph several times per round — rebuild derived knowledge only when the
+// graph actually changes.
 #pragma once
 
 #include <span>
@@ -62,8 +80,86 @@ class Cone {
   std::vector<int> last_heard_;    ///< by agent, -1 if absent everywhere
 };
 
-/// Revision-keyed memo of the derived knowledge of ONE graph: the f table
-/// and the cones already requested. Methods take the graph so the cache can
+/// Symmetric missing-edge evidence under general omissions: one clause
+/// {a, b} per definite-absent edge (a → b) the evidence holder knows of,
+/// stored as an adjacency mask per agent (adj(a) contains b iff some clause
+/// pairs them). The round of the missing edge is deliberately dropped: a
+/// fault set explains the evidence iff it covers every clause, regardless
+/// of when the drop happened.
+class OmissionEvidence {
+ public:
+  OmissionEvidence() = default;
+  explicit OmissionEvidence(int n)
+      : adj_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] int n() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] AgentSet adj(AgentId a) const {
+    return adj_[static_cast<std::size_t>(a)];
+  }
+  /// Agents appearing in at least one clause.
+  [[nodiscard]] AgentSet implicated() const {
+    AgentSet out;
+    for (AgentId a = 0; a < n(); ++a)
+      if (!adj_[static_cast<std::size_t>(a)].empty()) out.insert(a);
+    return out;
+  }
+  [[nodiscard]] bool empty() const { return implicated().empty(); }
+
+  void add(AgentId a, AgentId b) {
+    adj_[static_cast<std::size_t>(a)].insert(b);
+    adj_[static_cast<std::size_t>(b)].insert(a);
+  }
+  /// Adds the clause {s, receiver} for every s in `senders`.
+  void add_senders(AgentSet senders, AgentId receiver) {
+    adj_[static_cast<std::size_t>(receiver)] =
+        adj_[static_cast<std::size_t>(receiver)].united(senders);
+    for (AgentId s : senders) adj_[static_cast<std::size_t>(s)].insert(receiver);
+  }
+  void unite(const OmissionEvidence& o) {
+    for (std::size_t a = 0; a < adj_.size(); ++a)
+      adj_[a] = adj_[a].united(o.adj_[a]);
+  }
+
+  friend bool operator==(const OmissionEvidence&,
+                         const OmissionEvidence&) = default;
+
+ private:
+  std::vector<AgentSet> adj_;
+};
+
+/// True iff some fault set S with |S| <= budget and S ∩ avoid = ∅ covers
+/// every clause of `e` (every missing edge has an endpoint in S). Branches
+/// two ways per budget unit: O(2^budget · n) word operations.
+[[nodiscard]] bool go_cover_exists(const OmissionEvidence& e, int budget,
+                                   AgentSet avoid);
+
+/// The agents contained in EVERY fault set of size <= t that covers `e` —
+/// exactly the agents the evidence holder knows to be faulty under GO(t).
+/// Precondition: some <= t cover exists (true for evidence drawn from any
+/// run of a GO(t) pattern); violating it throws.
+[[nodiscard]] AgentSet go_known_faults(const OmissionEvidence& e, int t);
+
+/// The agents contained in SOME fault set of size <= t that covers `e`.
+/// The complement is the set of agents the evidence holder knows to be
+/// NONFAULTY — nonempty only once the evidence pins faults down (with
+/// slack in the budget, any agent might be an additional silent fault).
+[[nodiscard]] AgentSet go_possibly_faulty(const OmissionEvidence& e, int t);
+
+/// The GO analogue of the f recurrence: the clause set the owner of g knows
+/// agent j had at time m. go_evidence(g, j, 0) is empty; for m > 0 it is
+/// the union of j's definite-absent round-m clauses, the evidence of the
+/// senders whose round-m messages to j are known delivered, and
+/// go_evidence(g, j, m-1). Computes rows 0..m only.
+[[nodiscard]] OmissionEvidence go_evidence(const CommGraph& g, AgentId j,
+                                           int m);
+
+/// The full evidence table: entry [m][j] = go_evidence(g, j, m).
+[[nodiscard]] std::vector<std::vector<OmissionEvidence>> go_evidence_table(
+    const CommGraph& g);
+
+/// Revision-keyed memo of the derived knowledge of ONE graph: the f table,
+/// the GO evidence table and the cones already requested. Methods take the
+/// graph so the cache can
 /// detect staleness via CommGraph::revision() and rebuild lazily; a cache
 /// must only ever be used with the graph it lives next to (FipState owns one
 /// per agent graph).
@@ -79,6 +175,8 @@ class KnowledgeCache {
     graph_ = nullptr;
     have_faults_ = false;
     faults_.clear();
+    have_go_evidence_ = false;
+    go_evidence_.clear();
     cones_.clear();
     return *this;
   }
@@ -88,6 +186,12 @@ class KnowledgeCache {
   /// Row m of the f table of `g` (entry [j] = f(j, m, g)). The whole table
   /// is computed at most once per graph revision, flat in one allocation.
   [[nodiscard]] std::span<const AgentSet> fault_row(const CommGraph& g, int m);
+
+  /// Row m of the GO evidence table of `g` (entry [j] = go_evidence(g, j,
+  /// m)). Like fault_row, the whole table is computed at most once per
+  /// graph revision.
+  [[nodiscard]] std::span<const OmissionEvidence> go_evidence_row(
+      const CommGraph& g, int m);
 
   /// The cone of (target, m_top) in `g`, memoized per (target, m_top) until
   /// the graph changes. Worth it only for cones consulted repeatedly (the
@@ -107,6 +211,8 @@ class KnowledgeCache {
   std::uint64_t revision_ = 0;
   bool have_faults_ = false;
   std::vector<AgentSet> faults_;  ///< (time+1) rows of n, row-major
+  bool have_go_evidence_ = false;
+  std::vector<OmissionEvidence> go_evidence_;  ///< (time+1) rows of n
   std::unordered_map<std::uint64_t, Cone> cones_;  ///< key: target << 32 | m_top
 };
 

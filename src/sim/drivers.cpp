@@ -3,6 +3,7 @@
 #include "action/p_basic.hpp"
 #include "action/p_min.hpp"
 #include "action/p_opt.hpp"
+#include "action/p_opt_go.hpp"
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
 #include "exchange/min.hpp"
@@ -74,6 +75,20 @@ RunDriver make_fip_p0_driver(int n, int t, DriveOptions opt) {
     return summarize(FipExchange(n),
                      POpt(n, t, POpt::CommonKnowledge::disabled), alpha, inits,
                      t, opt);
+  };
+}
+
+RunDriver make_go_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(FipExchange(n), POptGo(n, t), alpha, inits, t, opt);
+  };
+}
+
+RunDriver make_go_p0_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(FipExchange(n),
+                     POptGo(n, t, POptGo::CommonKnowledge::disabled), alpha,
+                     inits, t, opt);
   };
 }
 

@@ -42,6 +42,12 @@ RunDriver make_fip_driver(int n, int t, DriveOptions opt = {});
 /// Ablation: P0 over the full-information exchange (P_opt with the
 /// common-knowledge lines disabled) — correct but not optimal.
 RunDriver make_fip_p0_driver(int n, int t, DriveOptions opt = {});
+/// P_opt_go over the full-information exchange — the general-omissions
+/// optimal protocol. Correct on GO(t) patterns (and a fortiori on SO(t)).
+RunDriver make_go_driver(int n, int t, DriveOptions opt = {});
+/// Ablation: the GO evaluation of P0 (P_opt_go with the common-knowledge
+/// lines disabled) — correct in γ_go but not optimal.
+RunDriver make_go_p0_driver(int n, int t, DriveOptions opt = {});
 
 struct NamedDriver {
   std::string name;

@@ -22,33 +22,43 @@
 namespace eba {
 namespace {
 
-/// Canonical byte encoding of a pattern for multiset comparisons.
+/// Canonical byte encoding of a pattern (both planes) for multiset
+/// comparisons.
 std::string encode(const FailurePattern& p) {
   std::ostringstream out;
   out << p.n() << ':' << p.nonfaulty().bits() << ':';
   for (int m = 0; m < p.recorded_rounds(); ++m)
     for (AgentId i = 0; i < p.n(); ++i) out << p.dropped(m, i).bits() << ',';
+  out << 'r';
+  for (int m = 0; m < p.recorded_receive_rounds(); ++m)
+    for (AgentId i = 0; i < p.n(); ++i)
+      out << p.dropped_receive(m, i).bits() << ',';
   return out.str();
 }
 
 std::vector<EnumerationConfig> small_configs() {
   std::vector<EnumerationConfig> cfgs;
-  for (int n = 2; n <= 5; ++n)
-    for (int t = 0; t < n && t <= 3; ++t)
-      for (int rounds = 1; rounds <= 2; ++rounds) {
-        const EnumerationConfig cfg{.n = n, .t = t, .rounds = rounds};
-        // Keep the unreduced walk cheap: skip configs beyond ~70k patterns.
-        const auto count = try_count_adversaries(cfg);
-        if (count && *count <= 70000) cfgs.push_back(cfg);
-      }
+  for (const FailureModel model :
+       {FailureModel::sending, FailureModel::general})
+    for (int n = 2; n <= 5; ++n)
+      for (int t = 0; t < n && t <= 3; ++t)
+        for (int rounds = 1; rounds <= 2; ++rounds) {
+          const EnumerationConfig cfg{
+              .n = n, .t = t, .rounds = rounds, .model = model};
+          // Keep the unreduced walk cheap: skip configs beyond ~70k patterns.
+          const auto count = try_count_adversaries(cfg);
+          if (count && *count <= 70000) cfgs.push_back(cfg);
+        }
   cfgs.push_back({.n = 6, .t = 1, .rounds = 1});
   cfgs.push_back({.n = 6, .t = 1, .rounds = 2});
+  cfgs.push_back(go_config(6, 1, 1));
   return cfgs;
 }
 
 std::string describe(const EnumerationConfig& cfg) {
   return "n=" + std::to_string(cfg.n) + " t=" + std::to_string(cfg.t) +
-         " rounds=" + std::to_string(cfg.rounds);
+         " rounds=" + std::to_string(cfg.rounds) +
+         (cfg.model == FailureModel::general ? " GO" : " SO");
 }
 
 // The heart of the exactness claim: per configuration, the canonical orbit
@@ -65,7 +75,9 @@ TEST(CanonicalEnumeration, OrbitMultiplicitiesSumToUnreducedCount) {
           ++orbits;
           multiplicity_sum += multiplicity;
           EXPECT_TRUE(is_canonical(rep)) << describe(cfg);
-          EXPECT_TRUE(rep.in_so(cfg.t)) << describe(cfg);
+          EXPECT_TRUE(cfg.model == FailureModel::general ? rep.in_go(cfg.t)
+                                                         : rep.in_so(cfg.t))
+              << describe(cfg);
           EXPECT_EQ(orbit_size(rep), multiplicity) << describe(cfg);
           EXPECT_TRUE(reps.insert(encode(rep)).second)
               << describe(cfg) << ": duplicate representative";
@@ -164,6 +176,15 @@ TEST(CheckedCounts, OverflowIsAnExplicitError) {
   EXPECT_EQ(count_adversaries(fine), 49u);
   EXPECT_EQ(try_count_adversaries(fine), std::optional<std::uint64_t>(49u));
 
+  // The GO plane doubles the shift: rounds = 4 overflows under general
+  // omissions while the SO count still fits — checked for orbit counting
+  // too (the Burnside exponent doubles the same way).
+  const EnumerationConfig go_edge{.n = 5, .t = 2, .rounds = 4};
+  EXPECT_TRUE(try_count_adversaries(go_edge).has_value());
+  EXPECT_EQ(try_count_go_adversaries(go_edge), std::nullopt);
+  EXPECT_THROW((void)count_go_adversaries(go_edge), std::logic_error);
+  EXPECT_TRUE(try_count_canonical_adversaries(go_config(4, 1, 2)).has_value());
+
   // Binomial intermediates may wrap uint64 while the count itself fits:
   // rounds = 0 makes the count sum_{k<=t} C(n,k), and C(63,31)*32 > 2^64.
   // By symmetry sum_{k<=31} C(63,k) is exactly 2^62.
@@ -214,7 +235,9 @@ TEST(Equivariance, ProtocolsCommuteWithAgentRenaming) {
             perm[static_cast<std::size_t>(i)])] =
             prefs[static_cast<std::size_t>(i)];
 
-      for (const auto& [name, drive] : paper_drivers(n, t)) {
+      auto drivers = paper_drivers(n, t);
+      drivers.push_back({"P_opt_go", make_go_driver(n, t)});
+      for (const auto& [name, drive] : drivers) {
         const RunSummary base = drive(alpha, prefs);
         const RunSummary image = drive(relabeled_alpha, relabeled_prefs);
         for (AgentId i = 0; i < n; ++i) {
@@ -229,6 +252,9 @@ TEST(Equivariance, ProtocolsCommuteWithAgentRenaming) {
           }
         }
       }
+      // (Equivariance on two-plane GO patterns — where the renaming also
+      // acts on receive drops — is covered by tests/test_go.cpp's
+      // POptGoCommutesWithAgentRenaming.)
     }
   }
 }

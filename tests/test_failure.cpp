@@ -80,6 +80,90 @@ TEST(EnumerationTest, AllPatternsAreValidSo) {
   EXPECT_EQ(visited, 417u);
 }
 
+TEST(PatternTest, ReceivePlaneSemantics) {
+  FailurePattern p(4, AgentSet{0, 1, 3});  // agent 2 faulty
+  p.drop_receive(0, 1, 2);
+  EXPECT_FALSE(p.delivered(0, 1, 2));  // nonfaulty sender, lost anyway
+  EXPECT_TRUE(p.delivered(0, 1, 3));
+  EXPECT_TRUE(p.delivered(1, 1, 2));  // only round 1 dropped
+  EXPECT_EQ(p.dropped_receive(0, 2), AgentSet{1});
+  EXPECT_EQ(p.dropped(0, 2), AgentSet{});  // send plane untouched
+  EXPECT_TRUE(p.has_receive_drops());
+  EXPECT_FALSE(p.in_so(1));  // a receive drop disqualifies SO membership
+  EXPECT_TRUE(p.in_go(1));
+  EXPECT_TRUE(p.go_valid(1));
+  EXPECT_THROW(p.drop_receive(0, 0, 1), std::logic_error);  // nonfaulty rcvr
+  EXPECT_THROW(p.drop_receive(0, 2, 2), std::logic_error);  // self-delivery
+}
+
+TEST(PatternTest, DeafenAndPlaneIndependence) {
+  FailurePattern p(3, AgentSet{0, 1});  // 2 faulty
+  p.deafen(0, 2);
+  EXPECT_EQ(p.dropped_receive(0, 2), (AgentSet{0, 1}));
+  EXPECT_TRUE(p.delivered(0, 2, 2));  // self-delivery survives deafness
+  // Both planes dropping the same message is representable and idempotent
+  // for delivery.
+  p.drop(0, 2, 0);
+  EXPECT_FALSE(p.delivered(0, 2, 0));
+  EXPECT_EQ(p.recorded_receive_rounds(), 1);
+  // An SO-style pattern reports an empty receive plane.
+  FailurePattern so(3, AgentSet{0, 1});
+  so.silence(0, 2);
+  EXPECT_FALSE(so.has_receive_drops());
+  EXPECT_TRUE(so.in_so(1));
+}
+
+TEST(EnumerationTest, GoCountsMatchFormula) {
+  // GO doubles the drop bits: n=3, t=1, rounds=2 gives
+  // 1 + 3 * 2^(2*1*2*2) = 1 + 3 * 256 = 769.
+  const EnumerationConfig cfg = go_config(3, 1, 2);
+  EXPECT_EQ(count_adversaries(cfg), 769u);
+  EXPECT_EQ(count_go_adversaries({.n = 3, .t = 1, .rounds = 2}), 769u);
+  EXPECT_EQ(try_count_go_adversaries({.n = 3, .t = 1, .rounds = 2}), 769u);
+  std::uint64_t visited = 0;
+  std::uint64_t with_recv = 0;
+  enumerate_adversaries(cfg, [&](const FailurePattern& p) {
+    EXPECT_TRUE(p.in_go(1));
+    ++visited;
+    if (p.has_receive_drops()) ++with_recv;
+    return true;
+  });
+  EXPECT_EQ(visited, 769u);
+  // Per faulty set, 16 of the 256 plane combinations are receive-free.
+  EXPECT_EQ(with_recv, 769u - 1u - 3u * 16u);
+}
+
+TEST(EnumerationTest, GoCountOverflowIsAnExplicitError) {
+  // 2 * k * (n-1) * rounds >= 64 while the SO count still fits: the GO
+  // twins must refuse rather than wrap.
+  const EnumerationConfig cfg{.n = 9, .t = 2, .rounds = 2};
+  EXPECT_TRUE(try_count_adversaries(cfg).has_value());
+  EXPECT_FALSE(try_count_go_adversaries(cfg).has_value());
+  EXPECT_THROW((void)count_go_adversaries(cfg), std::logic_error);
+}
+
+TEST(SamplerTest, GoSamplerRespectsPlanes) {
+  Rng rng1(99);
+  Rng rng2(99);
+  for (int k = 0; k < 20; ++k) {
+    const auto p1 = sample_go_adversary(8, 3, 4, 0.3, 0.4, rng1);
+    const auto p2 = sample_go_adversary(8, 3, 4, 0.3, 0.4, rng2);
+    EXPECT_EQ(p1, p2) << "GO sampling must be deterministic per seed";
+    EXPECT_EQ(p1.num_faulty(), 3);
+    EXPECT_TRUE(p1.in_go(3));
+    for (int m = 0; m < 4; ++m)
+      for (AgentId i = 0; i < 8; ++i)
+        if (!p1.dropped_receive(m, i).empty()) {
+          EXPECT_TRUE(p1.faulty().contains(i));
+        }
+  }
+  // recv_drop_prob = 0 degenerates to the SO sampler's support.
+  Rng rng3(5);
+  const auto so_like = sample_go_adversary(6, 2, 3, 0.5, 0.0, rng3);
+  EXPECT_FALSE(so_like.has_receive_drops());
+  EXPECT_TRUE(so_like.in_so(2));
+}
+
 TEST(EnumerationTest, EarlyStop) {
   EnumerationConfig cfg{.n = 3, .t = 1, .rounds = 2};
   int seen = 0;
