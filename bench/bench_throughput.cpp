@@ -206,6 +206,18 @@ int main() {
   const PointResult headline =
       run_point(FipExchange(8), POpt(8, 2), "P_opt", 1024, 2, 0.3, 17);
 
+  // --- worker scaling: the headline point at pinned worker counts ---------
+  // The workers:1 row is the blind spot the scaling gate closes: every
+  // other point runs at hardware concurrency, so a scheduler regression
+  // that only bites multi-worker configurations (or a pool that got SLOWER
+  // than single-threaded) would otherwise go unmeasured. check_bench.py
+  // gates multi-worker throughput against the workers:1 row (with a small
+  // tolerance — single-core CI runners cannot beat 1 worker).
+  std::vector<PointResult> scaling;
+  for (int w : {1, 2, 4})
+    scaling.push_back(
+        run_point(FipExchange(8), POpt(8, 2), "P_opt", 256, 2, 0.3, 19, w));
+
   // --- baseline: the seed's sequential thread-per-agent model -------------
   // Both engines run the same 256 specs three times; each side keeps its
   // best run (the usual benchmarking defense against scheduler noise —
@@ -264,6 +276,10 @@ int main() {
             << "): " << fmt(baseline.decided_per_sec)
             << " decided/s; worker pool is " << fmt(speedup)
             << "x faster on the same specs\n";
+  std::cerr << "worker scaling (256 P_opt instances): ";
+  for (const PointResult& p : scaling)
+    std::cerr << p.workers << "w=" << fmt(p.decided_per_sec) << "/s ";
+  std::cerr << "\n";
 
   // --- machine-readable JSON (stdout) -------------------------------------
   std::ostringstream out;
@@ -281,6 +297,12 @@ int main() {
   json_point(out, baseline, "");
   out << ",\n";
   out << "  \"speedup_vs_thread_per_agent\": " << fmt(speedup) << ",\n";
+  out << "  \"worker_scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    json_point(out, scaling[i], "    ");
+    out << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
   out << "  \"protocol_latency\": [\n";
   for (std::size_t i = 0; i < summaries.size(); ++i) {
     const auto& s = summaries[i];

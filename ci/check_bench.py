@@ -18,7 +18,14 @@ fell below the minimum (5x), or if any synthesis point's decisions diverged
 from its reference. When general-omissions reports are supplied (bench_go →
 BENCH_go.json), it fails if the headline canonical-orbit sweep regressed
 >max-ratio in wall time, if any sweep lost spec coverage or spec
-correctness, or if the Example-7.1 GO shortcut rows stopped holding.
+correctness, or if the Example-7.1 GO shortcut rows stopped holding. When
+adversary reports are supplied (bench_adversary → BENCH_adversary.json), it
+fails if any worst-case search row stops finding the analytic worst
+decision round, if the Example-7.1 anchor or the adaptive-vs-static
+comparison breaks, if any spec-oracle fuzz row reports a violation, or if
+the headline search regressed >max-ratio in wall time. The throughput check
+also gates worker scaling: the best multi-worker row must stay >= 0.5x the
+workers:1 row (loose tolerance for single-core runners).
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -113,6 +120,32 @@ def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
             f"worker pool only {speedup:.2f}x the sequential thread-per-agent "
             f"cluster (minimum {min_speedup}x)")
 
+    # Worker-scaling gate (same-machine ratio, like the speedup check): the
+    # best multi-worker row must not fall below half the workers:1 row. The
+    # loose 0.5 tolerance absorbs single-core CI runners, where extra workers
+    # only add scheduling overhead (observed ratios 0.7-0.85 on one core) —
+    # what the gate catches is a pool that became MUCH slower than running
+    # single-threaded, i.e. a contention bug.
+    scaling = fresh.get("worker_scaling", [])
+    if scaling:
+        single = [p for p in scaling if int(p["workers"]) == 1]
+        multi = [p for p in scaling if int(p["workers"]) > 1]
+        if not single or not multi:
+            failures.append("worker_scaling must include a workers:1 row and "
+                            "at least one multi-worker row")
+        else:
+            single_dps = float(single[0]["decided_per_sec"])
+            best_multi = max(float(p["decided_per_sec"]) for p in multi)
+            ratio = best_multi / single_dps if single_dps > 0 else 0.0
+            print(f"{'worker scaling':<24} {single_dps:>10.0f}/s "
+                  f"{best_multi:>10.0f}/s {ratio:>7.2f}x")
+            if ratio < 0.5:
+                failures.append(
+                    f"multi-worker throughput {best_multi:.0f}/s fell below "
+                    f"0.5x the single-worker row {single_dps:.0f}/s")
+    else:
+        failures.append("fresh throughput report has no worker_scaling rows")
+
 
 def check_synthesis(baseline_path, fresh_path, max_ratio, min_speedup,
                     failures):
@@ -186,6 +219,50 @@ def check_go(baseline_path, fresh_path, max_ratio, failures):
             failures.append(f"go {name}: expected decision rounds not met")
 
 
+def check_adversary(baseline_path, fresh_path, max_ratio, failures):
+    """Gates BENCH_adversary.json: worst-case search rows must keep finding
+    the analytic worst decision rounds, the Example-7.1 anchor and the
+    adaptive-vs-static comparison must hold, every fuzz row must stay
+    violation-free, and the headline search must not regress >max-ratio in
+    wall time against the committed baseline."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+
+    base_s = float(baseline["headline"]["seconds"])
+    fresh_s = float(fresh["headline"]["seconds"])
+    ratio = fresh_s / base_s if base_s > 0 else float("inf")
+    flag = " <-- REGRESSION" if ratio > max_ratio else ""
+    print(f"{'adversary headline':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
+          f"{ratio:>7.2f}x{flag}")
+    if ratio > max_ratio:
+        failures.append(
+            f"adversary headline search: {fresh_s:.4f}s vs baseline "
+            f"{base_s:.4f}s ({ratio:.2f}x slower > {max_ratio}x)")
+
+    for row in fresh.get("worst_case", []):
+        if not row.get("ok", False):
+            failures.append(
+                f"adversary {row.get('label')}: found round "
+                f"{row.get('found_round')} vs expected "
+                f"{row.get('expected_round')}")
+    if not fresh.get("example71", {}).get("ok", False):
+        failures.append("adversary example71: decision rounds diverge from "
+                        "the paper's analytic values")
+    adaptive = fresh.get("adaptive", {})
+    if not adaptive.get("ok", False):
+        failures.append(
+            f"adaptive strategies (worst round "
+            f"{adaptive.get('adaptive_worst_round')}) lost to blind static "
+            f"sampling (worst round {adaptive.get('static_worst_round')})")
+    for row in fresh.get("fuzz", []):
+        if not row.get("spec_ok", False):
+            failures.append(
+                f"adversary {row.get('label')}: {row.get('violations')} spec "
+                f"violations in {row.get('runs')} fuzz runs")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -202,6 +279,10 @@ def main():
                         help="freshly generated BENCH_synthesis.json")
     parser.add_argument("--baseline-go", help="committed BENCH_go.json")
     parser.add_argument("--fresh-go", help="freshly generated BENCH_go.json")
+    parser.add_argument("--baseline-adversary",
+                        help="committed BENCH_adversary.json")
+    parser.add_argument("--fresh-adversary",
+                        help="freshly generated BENCH_adversary.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
@@ -264,6 +345,13 @@ def main():
         failures.append("--baseline-go and --fresh-go must be passed together")
     elif args.baseline_go:
         check_go(args.baseline_go, args.fresh_go, args.max_ratio, failures)
+
+    if bool(args.baseline_adversary) != bool(args.fresh_adversary):
+        failures.append("--baseline-adversary and --fresh-adversary must be "
+                        "passed together")
+    elif args.baseline_adversary:
+        check_adversary(args.baseline_adversary, args.fresh_adversary,
+                        args.max_ratio, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

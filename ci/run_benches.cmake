@@ -91,6 +91,22 @@ else()
   message(WARNING "bench_go binary not found; BENCH_go.json not refreshed")
 endif()
 
+# --- bench_adversary: emits its own JSON on stdout ---------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_adversary)
+  message(STATUS "Running bench_adversary (worst-case search + adaptive + fuzz, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_adversary
+    RESULT_VARIABLE adv_rc
+    OUTPUT_VARIABLE adv_out
+    ERROR_VARIABLE adv_err)
+  if(NOT adv_rc EQUAL 0)
+    message(FATAL_ERROR "bench_adversary failed (rc=${adv_rc}):\n${adv_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_adversary.json "${adv_out}")
+else()
+  message(WARNING "bench_adversary binary not found; BENCH_adversary.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, test. Run from the repo root.
+# Tier-1 verify: configure, build, test, plus a seconds-budget spec-oracle
+# fuzz smoke. Run from the repo root.
 set -eu
 cmake -B build -S .
 cmake --build build -j
 cd build
 ctest --output-on-failure -j
+./bench_adversary --fuzz-smoke

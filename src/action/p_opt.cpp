@@ -1,5 +1,7 @@
 #include "action/p_opt.hpp"
 
+#include <algorithm>
+
 #include "graph/knowledge.hpp"
 
 namespace eba {
@@ -160,6 +162,12 @@ Action POpt::operator()(const FipState& s) const {
   infer_actions(s);
   return decide_rule(s.graph, s.self, s.init, s.decided.has_value(), t_,
                      s.inferred, use_common_, s.knowledge);
+}
+
+int POpt::evidence_ambiguity(const FipState& s, int t) {
+  const AgentSet known =
+      s.knowledge.fault_row(s.graph, s.time)[static_cast<std::size_t>(s.self)];
+  return std::max(0, t - known.size());
 }
 
 }  // namespace eba

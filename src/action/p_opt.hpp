@@ -75,6 +75,13 @@ class POpt {
   /// (s.self, s.time). Exposed for tests; operator() calls it.
   void infer_actions(const FipState& s) const;
 
+  /// Strategy-facing accessor (failure/strategy.hpp objectives): how much of
+  /// the fault budget is still unattributed in the agent's view — t minus
+  /// the number of senders its f-table convicts at (s.self, s.time). A
+  /// worst-case adversary maximizes this to stay hidden from P_opt's
+  /// common-knowledge tests.
+  [[nodiscard]] static int evidence_ambiguity(const FipState& s, int t);
+
   [[nodiscard]] int t() const { return t_; }
 
  private:

@@ -311,4 +311,10 @@ Action POptGo::operator()(const FipState& s) const {
                      s.inferred, use_common_, s.knowledge);
 }
 
+int POptGo::evidence_ambiguity(const FipState& s, int t) {
+  const OmissionEvidence& e = s.knowledge.go_evidence_row(
+      s.graph, s.time)[static_cast<std::size_t>(s.self)];
+  return go_possibly_faulty(e, t).minus(go_known_faults(e, t)).size();
+}
+
 }  // namespace eba

@@ -98,6 +98,12 @@ class POptGo {
   /// (s.self, s.time), re-deriving peers' GO decisions from their views.
   void infer_actions(const FipState& s) const;
 
+  /// Strategy-facing accessor (failure/strategy.hpp objectives): agents
+  /// whose fault status the agent's clause evidence leaves open at (s.self,
+  /// s.time) — possibly faulty but not in every <= t cover. A worst-case GO
+  /// adversary maximizes this unresolved set.
+  [[nodiscard]] static int evidence_ambiguity(const FipState& s, int t);
+
   [[nodiscard]] int t() const { return t_; }
 
  private:

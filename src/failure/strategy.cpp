@@ -1,0 +1,337 @@
+#include "failure/strategy.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "failure/canonical.hpp"
+
+namespace eba {
+
+const char* to_string(SearchObjective o) {
+  switch (o) {
+    case SearchObjective::decision_round:
+      return "decision_round";
+    case SearchObjective::messages_suppressed:
+      return "messages_suppressed";
+    case SearchObjective::evidence_ambiguity:
+      return "evidence_ambiguity";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::uint64_t permute_bits(std::uint64_t mask,
+                           const std::vector<AgentId>& perm) {
+  std::uint64_t out = 0;
+  for (AgentId i : AgentSet(mask))
+    out |= std::uint64_t{1} << perm[static_cast<std::size_t>(i)];
+  return out;
+}
+
+/// A non-identity element of the stabilizer S_k × S_{n-k} of the canonical
+/// faulty set {0..k-1}: forward map (old id -> new id) plus its inverse.
+/// Same group as failure/canonical.cpp's subgroup, rebuilt here because the
+/// incremental prefix comparison below needs a different row order (round-
+/// major, so that a comparison touches only assigned words).
+struct PermPair {
+  std::vector<AgentId> perm;
+  std::vector<AgentId> inv;
+};
+
+std::vector<PermPair> stabilizer(int n, int k) {
+  std::vector<AgentId> fa(static_cast<std::size_t>(k));
+  std::vector<AgentId> nf(static_cast<std::size_t>(n - k));
+  std::iota(fa.begin(), fa.end(), 0);
+  std::iota(nf.begin(), nf.end(), k);
+  std::vector<PermPair> out;
+  std::vector<AgentId> fa0 = fa;
+  do {
+    std::vector<AgentId> nf0 = nf;
+    do {
+      std::vector<AgentId> perm(static_cast<std::size_t>(n));
+      for (int i = 0; i < k; ++i)
+        perm[static_cast<std::size_t>(i)] = fa0[static_cast<std::size_t>(i)];
+      for (int i = k; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] =
+            nf0[static_cast<std::size_t>(i - k)];
+      bool identity = true;
+      for (int i = 0; i < n; ++i)
+        if (perm[static_cast<std::size_t>(i)] != i) identity = false;
+      if (identity) continue;
+      std::vector<AgentId> inv(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        inv[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] = i;
+      out.push_back({std::move(perm), std::move(inv)});
+    } while (std::next_permutation(nf0.begin(), nf0.end()));
+  } while (std::next_permutation(fa0.begin(), fa0.end()));
+  return out;
+}
+
+std::vector<int> faulty_sizes(const SearchOptions& opt) {
+  std::vector<int> ks;
+  if (opt.num_faulty >= 0) {
+    EBA_REQUIRE(opt.num_faulty <= opt.space.t, "num_faulty exceeds t");
+    ks.push_back(opt.num_faulty);
+  } else {
+    for (int k = 0; k <= opt.space.t; ++k) ks.push_back(k);
+  }
+  return ks;
+}
+
+FailurePattern base_pattern_for(int n, int k) {
+  AgentSet nonfaulty = AgentSet::all(n);
+  for (AgentId s = 0; s < k; ++s) nonfaulty.erase(s);
+  return FailurePattern(n, nonfaulty);
+}
+
+/// DFS state for branch_and_bound_worst_case, one faulty-set size at a time.
+/// Drop words live at index (plane * rounds + m) * k + s — sender s's
+/// receiver mask (plane 0) and receiver s's sender mask (plane 1) for round
+/// m+1, mirroring AdversaryIterator's layout.
+struct Searcher {
+  const SearchOptions& opt;
+  const PatternEvaluator& eval;
+  int n;
+  int rounds;
+  int planes;
+  SearchResult result;
+  bool stop = false;
+
+  int k = 0;
+  std::vector<std::uint64_t> words;
+  std::vector<PermPair> perms;
+
+  [[nodiscard]] std::uint64_t word(int plane, int m, int s) const {
+    return words[static_cast<std::size_t>((plane * rounds + m) * k + s)];
+  }
+
+  [[nodiscard]] FailurePattern materialize(int depth) const {
+    FailurePattern p = base_pattern_for(n, k);
+    for (int m = 0; m < depth; ++m)
+      for (int s = 0; s < k; ++s) {
+        for (AgentId r : AgentSet(word(0, m, s))) p.drop(m, s, r);
+        if (planes == 2)
+          for (AgentId r : AgentSet(word(1, m, s))) p.drop_receive(m, r, s);
+      }
+    return p;
+  }
+
+  /// True iff no stabilizer element maps the assigned prefix to a strictly
+  /// lex-smaller one (round-major, plane, sender-ascending). A strictly
+  /// smaller image dooms EVERY completion of this prefix to be non-minimal
+  /// in its orbit, so the subtree is covered by a sibling.
+  [[nodiscard]] bool prefix_is_lex_min(int depth) const {
+    for (const PermPair& g : perms) {
+      int cmp = 0;
+      for (int m = 0; m < depth && cmp == 0; ++m)
+        for (int plane = 0; plane < planes && cmp == 0; ++plane)
+          for (int s = 0; s < k && cmp == 0; ++s) {
+            const std::uint64_t image = permute_bits(
+                word(plane, m, static_cast<int>(g.inv[static_cast<std::size_t>(s)])),
+                g.perm);
+            const std::uint64_t base = word(plane, m, s);
+            if (image != base) cmp = image < base ? -1 : 1;
+          }
+      if (cmp < 0) return false;
+    }
+    return true;
+  }
+
+  void record_candidate(const FailurePattern& p, const PatternScore& sc) {
+    if (sc.score > result.best_score) {
+      result.best = p;
+      result.best_score = sc.score;
+      result.best_detail = sc;
+      if (result.best_score >= opt.score_ceiling) {
+        result.ceiling_reached = true;
+        stop = true;
+      }
+    }
+  }
+
+  /// Visits the prefix of `depth` assigned rounds. `fresh` marks prefixes
+  /// whose last block added at least one drop; a stale prefix materializes
+  /// the same pattern as its parent, so the parent's score is inherited and
+  /// the evaluator skipped.
+  void visit(int depth, const PatternScore& inherited, bool fresh) {
+    if (stop) return;
+    ++result.stats.nodes;
+    if (!perms.empty() && !prefix_is_lex_min(depth)) {
+      ++result.stats.pruned_symmetry;
+      return;
+    }
+    PatternScore sc = inherited;
+    if (fresh) {
+      const FailurePattern p = materialize(depth);
+      sc = eval(p);
+      ++result.stats.evaluations;
+      record_candidate(p, sc);
+    }
+    if (stop || depth == rounds) return;
+    if (sc.rounds_executed <= depth) {
+      // No evaluated run executed past round `depth`, so pattern rounds
+      // >= depth are never consulted: every extension is run-identical.
+      ++result.stats.pruned_unreached;
+      return;
+    }
+    if (opt.use_settled_pruning &&
+        opt.objective == SearchObjective::decision_round &&
+        sc.settled_round != kUnsettled && sc.settled_round <= depth + 1) {
+      // With rounds 0..depth-1 fixed, decisions through round depth+1 are
+      // fixed for every extension (drops at round depth first affect states
+      // at time depth+1, hence decisions in round depth+2). Every nonfaulty
+      // agent already decided by round depth+1, so the objective is settled.
+      ++result.stats.pruned_settled;
+      return;
+    }
+    assign_block(depth, 0, sc, false);
+  }
+
+  /// Enumerates round `depth`'s block (k send words, plus k receive words
+  /// under GO) by chained submask odometers and recurses per assignment.
+  void assign_block(int depth, int idx, const PatternScore& inherited,
+                    bool any) {
+    if (stop) return;
+    if (idx == planes * k) {
+      visit(depth + 1, inherited, any);
+      return;
+    }
+    const int plane = idx / k;
+    const int s = idx % k;
+    const std::uint64_t allowed =
+        AgentSet::all(n).bits() & ~(std::uint64_t{1} << s);
+    const std::size_t slot =
+        static_cast<std::size_t>((plane * rounds + depth) * k + s);
+    std::uint64_t sub = 0;
+    do {
+      words[slot] = sub;
+      assign_block(depth, idx + 1, inherited, any || sub != 0);
+      if (stop) break;
+      sub = (sub - allowed) & allowed;
+    } while (sub != 0);
+    words[slot] = 0;
+  }
+
+  void run_for_k(int kk) {
+    k = kk;
+    if (k == 0) {
+      const FailurePattern p = FailurePattern::failure_free(n);
+      ++result.stats.nodes;
+      ++result.stats.evaluations;
+      record_candidate(p, eval(p));
+      return;
+    }
+    words.assign(static_cast<std::size_t>(planes * rounds * k), 0);
+    perms.clear();
+    if (opt.use_symmetry && n <= kMaxCanonicalAgents)
+      perms = stabilizer(n, k);
+    visit(0, PatternScore{}, true);
+  }
+};
+
+}  // namespace
+
+SearchResult greedy_worst_case(const SearchOptions& opt,
+                               const PatternEvaluator& eval) {
+  const auto start = Clock::now();
+  const int n = opt.space.n;
+  const int rounds = opt.space.rounds;
+  const bool go = opt.space.model == FailureModel::general;
+  EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+
+  SearchResult result;
+  auto record = [&](const FailurePattern& p, const PatternScore& sc) {
+    if (sc.score > result.best_score) {
+      result.best = p;
+      result.best_score = sc.score;
+      result.best_detail = sc;
+      if (result.best_score >= opt.score_ceiling) result.ceiling_reached = true;
+    }
+  };
+
+  for (int k : faulty_sizes(opt)) {
+    if (result.ceiling_reached) break;
+    FailurePattern cur = base_pattern_for(n, k);
+    PatternScore cur_sc = eval(cur);
+    ++result.stats.nodes;
+    ++result.stats.evaluations;
+    record(cur, cur_sc);
+    bool improved = true;
+    while (improved && !result.ceiling_reached) {
+      improved = false;
+      FailurePattern best_cand = cur;
+      PatternScore best_sc = cur_sc;
+      for (int m = 0; m < rounds; ++m)
+        for (AgentId s = 0; s < k; ++s)
+          for (AgentId r = 0; r < n; ++r) {
+            if (r == s) continue;
+            if (!cur.dropped(m, s).contains(r)) {
+              FailurePattern cand = cur;
+              cand.drop(m, s, r);
+              const PatternScore sc = eval(cand);
+              ++result.stats.evaluations;
+              if (sc.score > best_sc.score) {
+                best_cand = std::move(cand);
+                best_sc = sc;
+              }
+            }
+            if (go && !cur.dropped_receive(m, s).contains(r)) {
+              FailurePattern cand = cur;
+              cand.drop_receive(m, r, s);
+              const PatternScore sc = eval(cand);
+              ++result.stats.evaluations;
+              if (sc.score > best_sc.score) {
+                best_cand = std::move(cand);
+                best_sc = sc;
+              }
+            }
+          }
+      if (best_sc.score > cur_sc.score) {
+        cur = std::move(best_cand);
+        cur_sc = best_sc;
+        improved = true;
+        ++result.stats.nodes;
+        record(cur, cur_sc);
+      }
+    }
+  }
+  result.seconds = elapsed(start);
+  return result;
+}
+
+SearchResult branch_and_bound_worst_case(const SearchOptions& opt,
+                                         const PatternEvaluator& eval) {
+  const auto start = Clock::now();
+  EBA_REQUIRE(opt.space.n >= 1 && opt.space.n <= kMaxAgents,
+              "agent count out of range");
+  EBA_REQUIRE(opt.space.rounds >= 0, "negative round horizon");
+  Searcher s{.opt = opt,
+             .eval = eval,
+             .n = opt.space.n,
+             .rounds = opt.space.rounds,
+             .planes = opt.space.model == FailureModel::general ? 2 : 1,
+             .result = {},
+             .stop = false,
+             .k = 0,
+             .words = {},
+             .perms = {}};
+  for (int k : faulty_sizes(opt)) {
+    if (s.stop) break;
+    s.run_for_k(k);
+  }
+  s.result.seconds = elapsed(start);
+  return s.result;
+}
+
+}  // namespace eba

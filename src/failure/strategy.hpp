@@ -1,0 +1,117 @@
+// Worst-case adversary search over SO(t)/GO(t) pattern spaces.
+//
+// PRs 4-5 certify spec-satisfaction by sweeping EVERY canonical orbit; this
+// layer answers the dual question — which pattern is WORST for a protocol —
+// without visiting the whole space. Two searchers over the same fixed-shape
+// space as AdversaryIterator (drops confined to the first `rounds` rounds,
+// faulty set {0..k-1} WLOG):
+//
+//  * `greedy_worst_case` — hill climbing on single-drop additions: from the
+//    drop-free pattern, repeatedly commit the one extra (round, from, to)
+//    drop (either plane under GO) that improves the objective most, until no
+//    single addition helps. Cheap (O(drops-per-step) evaluations per step)
+//    and usually finds the analytic worst case, but can stall on plateaus —
+//    a hidden chain only pays off once ALL of its hops are in place.
+//  * `branch_and_bound_worst_case` — exact DFS over per-round drop blocks
+//    with three sound prunings (see SearchStats): symmetry (only
+//    lexicographically minimal prefixes under the stabilizer S_k × S_{n-k}
+//    of the faulty set survive — the orbit argument of failure/canonical.hpp
+//    applied incrementally), settled (decisions through round p+1 are fixed
+//    once pattern rounds 0..p-1 are, so a prefix whose runs have every
+//    nonfaulty agent decided cannot be improved by extension — valid for the
+//    decision_round objective), and unreached (a prefix whose runs never
+//    execute past round p is bit-identical to every extension). An optional
+//    score ceiling (Prop 6.1's t+2 bound for decision rounds) turns the
+//    exact search into first-witness search.
+//
+// The searcher is protocol-agnostic: it maximizes an injected
+// `PatternEvaluator`, so this layer depends only on core/ and failure/
+// (src/README.md layering). sim/objective.hpp builds evaluators from the
+// shipped protocol drivers; the evaluated protocols must be renaming-
+// equivariant (every shipped one is) for the WLOG faulty set and the
+// symmetry pruning to be sound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "failure/adversary_iter.hpp"
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+/// What a worst-case search maximizes.
+enum class SearchObjective : std::uint8_t {
+  decision_round,       ///< latest nonfaulty decision round, worst preference
+  messages_suppressed,  ///< sent-but-undelivered message count
+  evidence_ambiguity,   ///< unattributed faults in final views (P_opt[_go])
+};
+
+[[nodiscard]] const char* to_string(SearchObjective o);
+
+/// Sentinel for PatternScore::settled_round: some evaluated run left a
+/// nonfaulty agent undecided within the horizon.
+inline constexpr int kUnsettled = std::numeric_limits<int>::max();
+
+/// One evaluation of a candidate pattern, aggregated over whatever
+/// preference vectors the evaluator ranges over.
+struct PatternScore {
+  double score = 0;
+  /// Largest nonfaulty decision round across the evaluated runs, or
+  /// kUnsettled if any run left a nonfaulty agent undecided.
+  int settled_round = kUnsettled;
+  /// Largest number of rounds any evaluated run actually executed. Pattern
+  /// round m is only consulted by a run executing round m+1, so drops added
+  /// at rounds >= rounds_executed cannot change any of the runs.
+  int rounds_executed = 0;
+};
+
+using PatternEvaluator = std::function<PatternScore(const FailurePattern&)>;
+
+struct SearchOptions {
+  /// The pattern space: n, t, recorded rounds, and the model (the receive
+  /// plane is searched iff model == general).
+  EnumerationConfig space;
+  SearchObjective objective = SearchObjective::decision_round;
+  /// Stop as soon as the incumbent reaches this score (an analytic upper
+  /// bound makes the search a first-witness search; Prop 6.1 gives t+2 for
+  /// decision_round). Infinity = exhaust the (pruned) space.
+  double score_ceiling = std::numeric_limits<double>::infinity();
+  /// Fix the faulty-set size; -1 = try every k in 0..t.
+  int num_faulty = -1;
+  /// Disable individual prunings (for the tests that certify the pruned
+  /// search agrees with the unpruned one).
+  bool use_symmetry = true;
+  bool use_settled_pruning = true;
+};
+
+struct SearchStats {
+  std::uint64_t nodes = 0;        ///< prefix assignments visited
+  std::uint64_t evaluations = 0;  ///< PatternEvaluator invocations
+  std::uint64_t pruned_symmetry = 0;
+  std::uint64_t pruned_settled = 0;
+  std::uint64_t pruned_unreached = 0;
+};
+
+struct SearchResult {
+  FailurePattern best = FailurePattern::failure_free(1);
+  double best_score = -std::numeric_limits<double>::infinity();
+  /// The evaluator's full verdict on `best`.
+  PatternScore best_detail;
+  bool ceiling_reached = false;
+  SearchStats stats;
+  double seconds = 0;
+};
+
+/// Hill climbing on single-drop additions (see file comment).
+[[nodiscard]] SearchResult greedy_worst_case(const SearchOptions& opt,
+                                             const PatternEvaluator& eval);
+
+/// Exact branch-and-bound over per-round drop blocks (see file comment).
+/// Visits at least one element of every stabilizer orbit, so without a
+/// ceiling the returned score equals the exhaustive-sweep maximum.
+[[nodiscard]] SearchResult branch_and_bound_worst_case(
+    const SearchOptions& opt, const PatternEvaluator& eval);
+
+}  // namespace eba

@@ -71,6 +71,16 @@ BusPool::RoundResult BusPool::exchange_round(
   return res;
 }
 
+void BusPool::update_pattern(SlotId id, const FailurePattern& alpha) {
+  // No lock, as in exchange_round: only the slot's current worker calls in.
+  EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
+              "update_pattern on a slot that is not in use");
+  Slot& slot = slots_[id];
+  EBA_REQUIRE(slot.alpha && slot.alpha->n() == alpha.n(),
+              "update_pattern must keep the agent count");
+  slot.alpha = alpha;
+}
+
 int BusPool::completed_rounds(SlotId id) const {
   EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
               "completed_rounds on a slot that is not in use");

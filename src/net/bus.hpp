@@ -61,6 +61,14 @@ class BusPool {
   [[nodiscard]] RoundResult exchange_round(
       SlotId id, std::vector<std::optional<Bytes>> outbox);
 
+  /// Replaces the slot's failure pattern mid-instance. The adaptive
+  /// workload driver (net/workload.hpp run_adaptive_workload) mirrors each
+  /// stepper's online drops into the slot after begin_round(), before the
+  /// round's payloads move — without this the byte-level filter would run
+  /// on the strategy's base pattern. Same threading contract as
+  /// exchange_round: the caller is the slot's current worker.
+  void update_pattern(SlotId id, const FailurePattern& alpha);
+
   /// Rounds completed by the instance currently occupying the slot.
   [[nodiscard]] int completed_rounds(SlotId id) const;
 

@@ -12,13 +12,25 @@
 // (n threads per run) as the execution model for cluster workloads;
 // `run_cluster` (net/cluster.hpp) is the single-instance wrapper.
 //
-// Per-instance results are RunRecord-identical to `simulate()` on the same
-// (pattern, preferences) — enforced by tests/test_workload.cpp.
+// Two entry points share the scheduler and the wire path:
+//
+//  * `run_workload` — static adversaries: each instance's FailurePattern is
+//    fixed up front (InstanceSpec).
+//  * `run_adaptive_workload` — adaptive adversaries (sim/adaptive.hpp):
+//    each instance owns a strategy object whose hook adds drops online in
+//    begin_round(); the worker then mirrors the stepper's updated pattern
+//    into the bus slot before the round's payloads move, so the byte-level
+//    filter sees the same drops the in-memory engines do.
+//
+// Per-instance results are RunRecord-identical to `simulate()` (static) or
+// `simulate_adaptive()` (adaptive, same-seeded strategy) on the same
+// inputs — enforced by tests/test_workload.cpp.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <utility>
@@ -29,6 +41,7 @@
 #include "net/bus.hpp"
 #include "net/pool.hpp"
 #include "net/serialize.hpp"
+#include "sim/adaptive.hpp"
 #include "sim/stepper.hpp"
 
 namespace eba {
@@ -44,6 +57,14 @@ struct ClusterResult {
 /// One agreement instance: its adversary and initial preferences.
 struct InstanceSpec {
   FailurePattern alpha;
+  std::vector<Value> inits;
+};
+
+/// One adaptive instance: the strategy that will choose drops online, plus
+/// the initial preferences. Strategies are stateful (RNG draws, chain
+/// progress), so each instance owns a fresh one.
+struct AdaptiveInstanceSpec {
+  std::unique_ptr<AdversaryStrategy> strategy;
   std::vector<Value> inits;
 };
 
@@ -66,99 +87,77 @@ struct WorkloadResult {
   std::size_t concurrent_instances = 0;
 };
 
+namespace detail {
+
+/// Moves one staged round of `stepper` through its bus slot: serialize µ,
+/// exchange through the slot's adversary filter, decode each sender's
+/// payload once, δ. Returns true when the instance has completed (including
+/// "was already done"). With `sync_pattern` the slot's pattern is refreshed
+/// from the stepper after begin_round() — the adaptive hook may have just
+/// added drops for exactly this round.
 template <ExchangeProtocol X, class P>
-WorkloadResult<X> run_workload(const X& x, const P& act,
-                               std::span<const InstanceSpec> specs, int t,
-                               const WorkloadOptions& opt = {}) {
-  // The byte bus fans one payload out to every receiver; an exchange whose
-  // µ depends on the destination would silently send wrong payloads here.
-  static_assert(BroadcastExchange<X>,
-                "run_workload requires a broadcast exchange (X::kBroadcast)");
+bool advance_wire_round(const X& x, Stepper<X, P>& stepper, BusPool& pool,
+                        BusPool::SlotId slot, bool sync_pattern) {
   using Message = typename X::Message;
-  using Clock = std::chrono::steady_clock;
-
-  WorkloadResult<X> result;
-  result.instances.resize(specs.size());
-  result.latency_us.assign(specs.size(), 0.0);
-  result.concurrent_instances = specs.size();
-  if (specs.empty()) return result;
-
   const int n = x.n();
-  StepperOptions sopt;
-  sopt.max_rounds = opt.max_rounds;
+  const std::vector<Action>* actions = stepper.begin_round();
+  if (!actions) return true;
+  if (sync_pattern) pool.update_pattern(slot, stepper.pattern());
 
-  struct Instance {
-    Stepper<X, P> stepper;
-    BusPool::SlotId slot;
-  };
+  std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
+  std::size_t bits = 0;
+  std::size_t messages = 0;
+  for (AgentId i = 0; i < n; ++i) {
+    const std::optional<Message> m =
+        x.message(stepper.states()[static_cast<std::size_t>(i)],
+                  (*actions)[static_cast<std::size_t>(i)], /*dest=*/0);
+    if (!m) continue;
+    bits += static_cast<std::size_t>(n - 1) * x.message_bits(*m);
+    messages += static_cast<std::size_t>(n - 1);
+    outbox[static_cast<std::size_t>(i)] = to_bytes(*m);
+  }
 
-  BusPool pool(specs.size());
-  std::vector<Instance> instances;
-  instances.reserve(specs.size());
-  for (const InstanceSpec& spec : specs)
-    instances.push_back({Stepper<X, P>(x, act, spec.alpha, spec.inits, t, sopt),
-                         pool.acquire(spec.alpha)});
+  BusPool::RoundResult res = pool.exchange_round(slot, std::move(outbox));
 
-  const int workers = resolve_workers(opt.workers, specs.size());
-  result.workers = workers;
+  // Every receiver's copy of a broadcast payload is bit-identical, so
+  // each sender's payload is decoded once and the decoded value shared
+  // across its receivers — exactly as the abstract simulator shares µ's
+  // result (the thread-per-agent model decoded per receiver by necessity).
+  std::vector<std::vector<std::optional<Message>>> inbox(
+      static_cast<std::size_t>(n),
+      std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
+  for (AgentId from = 0; from < n; ++from) {
+    std::optional<Message> decoded;
+    for (AgentId to = 0; to < n; ++to) {
+      const auto& payload = res.inbox[static_cast<std::size_t>(to)]
+                                     [static_cast<std::size_t>(from)];
+      if (!payload) continue;
+      if (!decoded) decoded = from_bytes<Message>(*payload);
+      inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+          *decoded;
+    }
+  }
+  stepper.finish_round(inbox, std::move(res.sent), std::move(res.delivered),
+                       bits, messages);
+  return stepper.done();
+}
+
+/// Round-sliced scheduler shared by both workload entry points: workers
+/// claim small batches of instance indices, advance each by one round via
+/// `step_one(idx)` (true = instance completed, already harvested), and
+/// requeue survivors. Workers claim kBatch indices per queue access: a
+/// round of a small instance is microseconds, so per-round locking would
+/// dominate.
+template <class StepOne>
+void drive_round_sliced(std::size_t count, int workers, StepOne&& step_one) {
+  constexpr std::size_t kBatch = 8;
 
   std::mutex mu;
   std::condition_variable cv;
   std::deque<std::size_t> ready;
-  for (std::size_t k = 0; k < specs.size(); ++k) ready.push_back(k);
-  std::size_t remaining = specs.size();
+  for (std::size_t k = 0; k < count; ++k) ready.push_back(k);
+  std::size_t remaining = count;
   bool aborted = false;
-
-  const Clock::time_point admitted = Clock::now();
-
-  // Advances one instance by one round over the wire. Returns true when the
-  // instance has completed (including "was already done").
-  auto advance = [&](Instance& inst) -> bool {
-    const std::vector<Action>* actions = inst.stepper.begin_round();
-    if (!actions) return true;
-
-    std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
-    std::size_t bits = 0;
-    std::size_t messages = 0;
-    for (AgentId i = 0; i < n; ++i) {
-      const std::optional<Message> m =
-          x.message(inst.stepper.states()[static_cast<std::size_t>(i)],
-                    (*actions)[static_cast<std::size_t>(i)], /*dest=*/0);
-      if (!m) continue;
-      bits += static_cast<std::size_t>(n - 1) * x.message_bits(*m);
-      messages += static_cast<std::size_t>(n - 1);
-      outbox[static_cast<std::size_t>(i)] = to_bytes(*m);
-    }
-
-    BusPool::RoundResult res =
-        pool.exchange_round(inst.slot, std::move(outbox));
-
-    // Every receiver's copy of a broadcast payload is bit-identical, so
-    // each sender's payload is decoded once and the decoded value shared
-    // across its receivers — exactly as the abstract simulator shares µ's
-    // result (the thread-per-agent model decoded per receiver by necessity).
-    std::vector<std::vector<std::optional<Message>>> inbox(
-        static_cast<std::size_t>(n),
-        std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
-    for (AgentId from = 0; from < n; ++from) {
-      std::optional<Message> decoded;
-      for (AgentId to = 0; to < n; ++to) {
-        const auto& payload = res.inbox[static_cast<std::size_t>(to)]
-                                       [static_cast<std::size_t>(from)];
-        if (!payload) continue;
-        if (!decoded) decoded = from_bytes<Message>(*payload);
-        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
-            *decoded;
-      }
-    }
-    inst.stepper.finish_round(inbox, std::move(res.sent),
-                              std::move(res.delivered), bits, messages);
-    return inst.stepper.done();
-  };
-
-  // Workers claim a small batch of instances per queue access: a round of
-  // a small instance is microseconds, so per-round locking would dominate.
-  constexpr std::size_t kBatch = 8;
 
   auto worker_main = [&] {
     try {
@@ -180,19 +179,10 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
         requeue.clear();
         std::size_t completed_now = 0;
         for (std::size_t idx : batch) {
-          Instance& inst = instances[idx];
-          if (advance(inst)) {
-            result.latency_us[idx] =
-                std::chrono::duration<double, std::micro>(Clock::now() -
-                                                          admitted)
-                    .count();
-            result.instances[idx].record = inst.stepper.take_record();
-            result.instances[idx].final_states = inst.stepper.take_states();
-            pool.release(inst.slot);
+          if (step_one(idx))
             completed_now += 1;
-          } else {
+          else
             requeue.push_back(idx);
-          }
         }
         std::lock_guard lock(mu);
         // Another worker may have aborted (cleared the queue and zeroed
@@ -220,9 +210,121 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
   };
 
   run_workers(workers, [&](int /*worker*/) { worker_main(); });
+}
+
+/// The body shared by run_workload and run_adaptive_workload once every
+/// instance's stepper and slot exist: schedule, harvest, time.
+template <ExchangeProtocol X, class P, class Instances>
+void drive_workload(const X& x, BusPool& pool, Instances& instances,
+                    int workers, bool sync_pattern,
+                    WorkloadResult<X>& result) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point admitted = Clock::now();
+
+  auto step_one = [&](std::size_t idx) -> bool {
+    auto& inst = instances[idx];
+    if (!advance_wire_round<X, P>(x, inst.stepper, pool, inst.slot,
+                                  sync_pattern))
+      return false;
+    result.latency_us[idx] =
+        std::chrono::duration<double, std::micro>(Clock::now() - admitted)
+            .count();
+    result.instances[idx].record = inst.stepper.take_record();
+    result.instances[idx].final_states = inst.stepper.take_states();
+    pool.release(inst.slot);
+    return true;
+  };
+  drive_round_sliced(instances.size(), workers, step_one);
 
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - admitted).count();
+}
+
+}  // namespace detail
+
+template <ExchangeProtocol X, class P>
+WorkloadResult<X> run_workload(const X& x, const P& act,
+                               std::span<const InstanceSpec> specs, int t,
+                               const WorkloadOptions& opt = {}) {
+  // The byte bus fans one payload out to every receiver; an exchange whose
+  // µ depends on the destination would silently send wrong payloads here.
+  static_assert(BroadcastExchange<X>,
+                "run_workload requires a broadcast exchange (X::kBroadcast)");
+  WorkloadResult<X> result;
+  result.instances.resize(specs.size());
+  result.latency_us.assign(specs.size(), 0.0);
+  result.concurrent_instances = specs.size();
+  if (specs.empty()) return result;
+
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+
+  struct Instance {
+    Stepper<X, P> stepper;
+    BusPool::SlotId slot;
+  };
+
+  BusPool pool(specs.size());
+  std::vector<Instance> instances;
+  instances.reserve(specs.size());
+  for (const InstanceSpec& spec : specs)
+    instances.push_back({Stepper<X, P>(x, act, spec.alpha, spec.inits, t, sopt),
+                         pool.acquire(spec.alpha)});
+
+  const int workers = resolve_workers(opt.workers, specs.size());
+  result.workers = workers;
+  detail::drive_workload<X, P>(x, pool, instances, workers,
+                               /*sync_pattern=*/false, result);
+  return result;
+}
+
+/// The adaptive-adversary workload: same scheduler and wire path, but each
+/// instance's pattern grows online. The stepper's hook (installed here from
+/// the instance's strategy) adds drops in begin_round(); advance_wire_round
+/// then mirrors the updated pattern into the slot, so wire-path filtering
+/// is bit-identical to the in-memory engines on the same seeded strategy.
+template <ExchangeProtocol X, class P>
+WorkloadResult<X> run_adaptive_workload(const X& x, const P& act,
+                                        std::span<AdaptiveInstanceSpec> specs,
+                                        int t,
+                                        const WorkloadOptions& opt = {}) {
+  static_assert(BroadcastExchange<X>,
+                "run_adaptive_workload requires a broadcast exchange");
+  WorkloadResult<X> result;
+  result.instances.resize(specs.size());
+  result.latency_us.assign(specs.size(), 0.0);
+  result.concurrent_instances = specs.size();
+  if (specs.empty()) return result;
+
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+
+  struct Instance {
+    Stepper<X, P> stepper;
+    BusPool::SlotId slot;
+  };
+
+  BusPool pool(specs.size());
+  std::vector<Instance> instances;
+  instances.reserve(specs.size());
+  for (AdaptiveInstanceSpec& spec : specs) {
+    EBA_REQUIRE(spec.strategy != nullptr, "instance without a strategy");
+    FailurePattern base = spec.strategy->base_pattern();
+    EBA_REQUIRE(spec.strategy->model() == FailureModel::sending
+                    ? base.in_so(t)
+                    : base.in_go(t),
+                "strategy base pattern outside its model/budget");
+    instances.push_back(
+        {Stepper<X, P>(x, act, base, spec.inits, t, sopt),
+         pool.acquire(std::move(base))});
+    instances.back().stepper.set_adversary_hook(
+        make_strategy_hook(*spec.strategy, t));
+  }
+
+  const int workers = resolve_workers(opt.workers, specs.size());
+  result.workers = workers;
+  detail::drive_workload<X, P>(x, pool, instances, workers,
+                               /*sync_pattern=*/true, result);
   return result;
 }
 

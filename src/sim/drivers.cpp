@@ -92,6 +92,49 @@ RunDriver make_go_p0_driver(int n, int t, DriveOptions opt) {
   };
 }
 
+const char* to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::p_min:
+      return "P_min";
+    case ProtocolKind::p_basic:
+      return "P_basic";
+    case ProtocolKind::p_opt:
+      return "P_opt";
+    case ProtocolKind::p_opt_p0:
+      return "P_opt_p0";
+    case ProtocolKind::p_opt_go:
+      return "P_opt_go";
+    case ProtocolKind::p_opt_go_p0:
+      return "P_opt_go_p0";
+  }
+  return "?";
+}
+
+FailureModel model_of(ProtocolKind k) {
+  return k == ProtocolKind::p_opt_go || k == ProtocolKind::p_opt_go_p0
+             ? FailureModel::general
+             : FailureModel::sending;
+}
+
+RunDriver make_driver(ProtocolKind k, int n, int t, DriveOptions opt) {
+  switch (k) {
+    case ProtocolKind::p_min:
+      return make_min_driver(n, t, opt);
+    case ProtocolKind::p_basic:
+      return make_basic_driver(n, t, opt);
+    case ProtocolKind::p_opt:
+      return make_fip_driver(n, t, opt);
+    case ProtocolKind::p_opt_p0:
+      return make_fip_p0_driver(n, t, opt);
+    case ProtocolKind::p_opt_go:
+      return make_go_driver(n, t, opt);
+    case ProtocolKind::p_opt_go_p0:
+      return make_go_p0_driver(n, t, opt);
+  }
+  EBA_REQUIRE(false, "unknown protocol kind");
+  return {};
+}
+
 std::vector<NamedDriver> paper_drivers(int n, int t, DriveOptions opt) {
   return {{"P_min", make_min_driver(n, t, opt)},
           {"P_basic", make_basic_driver(n, t, opt)},

@@ -49,6 +49,28 @@ RunDriver make_go_driver(int n, int t, DriveOptions opt = {});
 /// lines disabled) — correct in γ_go but not optimal.
 RunDriver make_go_p0_driver(int n, int t, DriveOptions opt = {});
 
+/// Every shipped action protocol, for table-driven consumers (the fuzz
+/// harness, the adversary benches, objective evaluators) that pick drivers
+/// by value instead of by factory function.
+enum class ProtocolKind : std::uint8_t {
+  p_min,
+  p_basic,
+  p_opt,
+  p_opt_p0,     ///< P0 over E_fip (common-knowledge lines ablated)
+  p_opt_go,
+  p_opt_go_p0,  ///< GO evaluation of P0
+};
+
+[[nodiscard]] const char* to_string(ProtocolKind k);
+
+/// The failure model the protocol is certified for: GO(t) for the _go pair,
+/// SO(t) otherwise.
+[[nodiscard]] FailureModel model_of(ProtocolKind k);
+
+/// The factory-function drivers above, dispatched on the enum.
+[[nodiscard]] RunDriver make_driver(ProtocolKind k, int n, int t,
+                                    DriveOptions opt = {});
+
 struct NamedDriver {
   std::string name;
   RunDriver run;

@@ -1,0 +1,234 @@
+#include "sim/fuzz.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "core/assert.hpp"
+#include "failure/generators.hpp"
+#include "stats/rng.hpp"
+
+namespace eba {
+namespace {
+
+/// splitmix64 finalizer: decorrelates (base_seed, index) pairs so adjacent
+/// indices do not feed the mt19937 near-identical seeds.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int prefix_rounds(const FuzzConfig& cfg) {
+  return cfg.rounds > 0 ? cfg.rounds : cfg.t + 2;
+}
+
+bool passes(const FuzzConfig& cfg, const SpecReport& report) {
+  return cfg.strict ? report.ok_strict() : report.ok();
+}
+
+SpecReport run_oracle(const RunDriver& driver, const FailurePattern& alpha,
+                      const std::vector<Value>& prefs) {
+  return check_eba(driver(alpha, prefs).record);
+}
+
+/// One explicit drop bit of a pattern; `send` distinguishes the planes.
+struct DropBit {
+  bool send = true;
+  int m = 0;
+  AgentId from = 0;
+  AgentId to = 0;
+};
+
+std::vector<DropBit> collect_drops(const FailurePattern& alpha) {
+  std::vector<DropBit> bits;
+  for (int m = 0; m < alpha.recorded_rounds(); ++m)
+    for (AgentId from = 0; from < alpha.n(); ++from)
+      for (AgentId to : alpha.dropped(m, from))
+        bits.push_back({true, m, from, to});
+  for (int m = 0; m < alpha.recorded_receive_rounds(); ++m)
+    for (AgentId to = 0; to < alpha.n(); ++to)
+      for (AgentId from : alpha.dropped_receive(m, to))
+        bits.push_back({false, m, from, to});
+  return bits;
+}
+
+FailurePattern rebuild(int n, AgentSet nonfaulty,
+                       const std::vector<DropBit>& bits,
+                       std::size_t skip = static_cast<std::size_t>(-1)) {
+  FailurePattern alpha(n, nonfaulty);
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    if (b == skip) continue;
+    if (bits[b].send)
+      alpha.drop(bits[b].m, bits[b].from, bits[b].to);
+    else
+      alpha.drop_receive(bits[b].m, bits[b].from, bits[b].to);
+  }
+  return alpha;
+}
+
+/// Relabels agents so the faulty set becomes {0..k-1} (order-preserving
+/// within each class). Shipped protocols are renaming-equivariant, so the
+/// violation survives; the caller re-verifies and rolls back if not.
+void relabel_faulty_first(FailurePattern& alpha, std::vector<Value>& prefs) {
+  const int n = alpha.n();
+  std::vector<AgentId> perm(static_cast<std::size_t>(n));
+  AgentId next = 0;
+  for (AgentId i = 0; i < n; ++i)
+    if (!alpha.is_nonfaulty(i)) perm[static_cast<std::size_t>(i)] = next++;
+  for (AgentId i = 0; i < n; ++i)
+    if (alpha.is_nonfaulty(i)) perm[static_cast<std::size_t>(i)] = next++;
+
+  AgentSet nonfaulty;
+  for (AgentId i : alpha.nonfaulty()) nonfaulty.insert(perm[static_cast<std::size_t>(i)]);
+  std::vector<DropBit> bits = collect_drops(alpha);
+  for (DropBit& b : bits) {
+    b.from = perm[static_cast<std::size_t>(b.from)];
+    b.to = perm[static_cast<std::size_t>(b.to)];
+  }
+  std::vector<Value> relabeled(prefs.size());
+  for (AgentId i = 0; i < n; ++i)
+    relabeled[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+        prefs[static_cast<std::size_t>(i)];
+
+  alpha = rebuild(n, nonfaulty, bits);
+  prefs = std::move(relabeled);
+}
+
+}  // namespace
+
+FuzzCase fuzz_case(const FuzzConfig& cfg, std::uint64_t index) {
+  EBA_REQUIRE(cfg.n >= 2 && cfg.t >= 0 && cfg.t < cfg.n,
+              "fuzz config out of range");
+  FuzzCase c;
+  c.index = index;
+  c.seed = mix_seed(cfg.base_seed, index);
+  Rng rng(c.seed);
+  const int k = cfg.t >= 1 ? rng.below(cfg.t + 1) : 0;
+  const int rounds = prefix_rounds(cfg);
+  c.alpha = cfg.model == FailureModel::sending
+                ? sample_adversary(cfg.n, k, rounds, cfg.drop_prob, rng)
+                : sample_go_adversary(cfg.n, k, rounds, cfg.drop_prob,
+                                      cfg.recv_drop_prob, rng);
+  c.prefs = sample_preferences(cfg.n, rng);
+  return c;
+}
+
+ShrinkResult shrink_failure(const FuzzConfig& cfg, const RunDriver& driver,
+                            const FailurePattern& alpha,
+                            const std::vector<Value>& prefs) {
+  ShrinkResult cur;
+  cur.alpha = alpha;
+  cur.prefs = prefs;
+  cur.report = run_oracle(driver, cur.alpha, cur.prefs);
+  EBA_REQUIRE(!passes(cfg, cur.report), "shrink_failure needs a failing case");
+
+  // Pass 1 (to fixpoint): delete any single drop that keeps the violation.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<DropBit> bits = collect_drops(cur.alpha);
+    for (std::size_t b = 0; b < bits.size(); ++b) {
+      FailurePattern candidate =
+          rebuild(cur.alpha.n(), cur.alpha.nonfaulty(), bits, b);
+      SpecReport rep = run_oracle(driver, candidate, cur.prefs);
+      if (passes(cfg, rep)) continue;
+      cur.alpha = std::move(candidate);
+      cur.report = rep;
+      cur.steps += 1;
+      changed = true;
+      break;  // bit indices shifted; re-collect
+    }
+  }
+
+  // Pass 2: demote faulty agents that no longer carry any drops. (An agent
+  // with drops cannot be demoted — plane validity would reject the bits.)
+  for (AgentId g = 0; g < cur.alpha.n(); ++g) {
+    if (cur.alpha.is_nonfaulty(g)) continue;
+    const std::vector<DropBit> bits = collect_drops(cur.alpha);
+    bool carries = false;
+    for (const DropBit& b : bits)
+      carries = carries || (b.send ? b.from == g : b.to == g);
+    if (carries) continue;
+    AgentSet nonfaulty = cur.alpha.nonfaulty();
+    nonfaulty.insert(g);
+    FailurePattern candidate = rebuild(cur.alpha.n(), nonfaulty, bits);
+    SpecReport rep = run_oracle(driver, candidate, cur.prefs);
+    if (passes(cfg, rep)) continue;
+    cur.alpha = std::move(candidate);
+    cur.report = rep;
+    cur.steps += 1;
+  }
+
+  // Pass 3: push preferences toward all-zero, one agent at a time.
+  for (std::size_t i = 0; i < cur.prefs.size(); ++i) {
+    if (cur.prefs[i] == Value::zero) continue;
+    std::vector<Value> candidate = cur.prefs;
+    candidate[i] = Value::zero;
+    SpecReport rep = run_oracle(driver, cur.alpha, candidate);
+    if (passes(cfg, rep)) continue;
+    cur.prefs = std::move(candidate);
+    cur.report = rep;
+    cur.steps += 1;
+  }
+
+  // Pass 4: canonicalize — relabel faulty-first so equal-shape failures
+  // coincide. Equivariance should preserve the violation; verify anyway and
+  // keep the unrelabeled case if it does not.
+  {
+    FailurePattern candidate = cur.alpha;
+    std::vector<Value> cprefs = cur.prefs;
+    relabel_faulty_first(candidate, cprefs);
+    SpecReport rep = run_oracle(driver, candidate, cprefs);
+    if (!passes(cfg, rep)) {
+      if (!(candidate == cur.alpha)) cur.steps += 1;
+      cur.alpha = std::move(candidate);
+      cur.prefs = std::move(cprefs);
+      cur.report = rep;
+    }
+  }
+  return cur;
+}
+
+FuzzReport run_fuzz(const FuzzConfig& cfg, const RunDriver& driver) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+
+  FuzzReport out;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    const FuzzCase c = fuzz_case(cfg, static_cast<std::uint64_t>(it));
+    const SpecReport rep = run_oracle(driver, c.alpha, c.prefs);
+    out.runs += 1;
+    if (passes(cfg, rep)) continue;
+    out.violations += 1;
+    if (static_cast<int>(out.failures.size()) < cfg.max_failures) {
+      FuzzFailure f;
+      f.index = c.index;
+      f.seed = c.seed;
+      f.alpha = c.alpha;
+      f.prefs = c.prefs;
+      f.report = rep;
+      if (cfg.shrink) {
+        ShrinkResult s = shrink_failure(cfg, driver, c.alpha, c.prefs);
+        f.shrunk = std::move(s.alpha);
+        f.shrunk_prefs = std::move(s.prefs);
+        f.shrunk_report = std::move(s.report);
+        f.shrink_steps = s.steps;
+      } else {
+        f.shrunk = f.alpha;
+        f.shrunk_prefs = f.prefs;
+        f.shrunk_report = f.report;
+      }
+      out.failures.push_back(std::move(f));
+    }
+    if (static_cast<int>(out.failures.size()) >= cfg.max_failures) break;
+  }
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+FuzzReport run_fuzz(const FuzzConfig& cfg) {
+  return run_fuzz(cfg, make_driver(cfg.protocol, cfg.n, cfg.t));
+}
+
+}  // namespace eba

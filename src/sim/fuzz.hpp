@@ -1,0 +1,108 @@
+// Seeded spec-oracle fuzzing: drive (protocol × adversary × preferences)
+// instances through the EBA spec checker (core/spec.hpp) as the oracle, at
+// agent counts far beyond exhaustive reach (n = 8..64).
+//
+// Each case is derived purely from (config, index): a splitmix-style seed
+// mix feeds one Rng that draws the faulty-set size, the SO/GO pattern and
+// the preference vector. Replaying a failing index therefore reproduces the
+// exact run — the FuzzFailure records the index and seed for that purpose,
+// and tests/test_strategy.cpp pins the determinism.
+//
+// Failures shrink to a minimal counterexample before they are reported:
+// single drops are removed while the violation persists, then drop-free
+// faulty agents are demoted to nonfaulty, preferences are pushed toward
+// all-zero, and finally the pattern is relabeled faulty-first so distinct
+// failures collapse onto canonical-looking representatives. Every shrink
+// step re-runs the oracle; a step that loses the violation is rolled back,
+// so the shrunk case is failing by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spec.hpp"
+#include "failure/pattern.hpp"
+#include "sim/drivers.hpp"
+
+namespace eba {
+
+struct FuzzConfig {
+  int n = 8;
+  int t = 2;
+  ProtocolKind protocol = ProtocolKind::p_opt;
+  /// Adversary space to sample from. Must not exceed what the protocol is
+  /// certified for (model_of): fuzzing an SO-only protocol under GO would
+  /// report true-but-uninteresting violations.
+  FailureModel model = FailureModel::sending;
+  std::uint64_t base_seed = 0;
+  int iterations = 200;
+  int rounds = 0;  ///< drop-prefix length; 0 = t+2
+  double drop_prob = 0.25;
+  double recv_drop_prob = 0.15;  ///< GO receive plane only
+  /// Oracle: ok() (the four EBA properties) or ok_strict() (additionally
+  /// Prop 6.1's validity-for-all and the t+2 termination bound).
+  bool strict = true;
+  int max_failures = 3;  ///< stop collecting after this many
+  bool shrink = true;
+};
+
+/// One derived case; pure function of (config, index).
+struct FuzzCase {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;  ///< the mixed per-case seed
+  FailurePattern alpha = FailurePattern::failure_free(1);
+  std::vector<Value> prefs;
+};
+
+[[nodiscard]] FuzzCase fuzz_case(const FuzzConfig& cfg, std::uint64_t index);
+
+/// A spec violation, before and after shrinking. When cfg.shrink is false
+/// the shrunk fields simply repeat the original case.
+struct FuzzFailure {
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  FailurePattern alpha = FailurePattern::failure_free(1);
+  std::vector<Value> prefs;
+  SpecReport report;
+
+  FailurePattern shrunk = FailurePattern::failure_free(1);
+  std::vector<Value> shrunk_prefs;
+  SpecReport shrunk_report;
+  int shrink_steps = 0;  ///< accepted shrink steps (0 = already minimal)
+};
+
+struct FuzzReport {
+  std::uint64_t runs = 0;
+  std::uint64_t violations = 0;  ///< failing cases seen (collected or not)
+  std::vector<FuzzFailure> failures;
+  double seconds = 0;
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Fuzzes an arbitrary driver (used by tests to aim the oracle at a
+/// deliberately broken protocol). The driver must simulate at least t+2
+/// rounds for undecided runs so the termination checks are meaningful —
+/// drivers from make_driver with default options do.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzConfig& cfg,
+                                  const RunDriver& driver);
+
+/// Fuzzes cfg.protocol via make_driver.
+[[nodiscard]] FuzzReport run_fuzz(const FuzzConfig& cfg);
+
+/// The shrinking pass in isolation (exposed for tests): reduces a failing
+/// (alpha, prefs) to a locally minimal failing case under the oracle
+/// implied by cfg.strict. Requires that the input actually fails.
+struct ShrinkResult {
+  FailurePattern alpha = FailurePattern::failure_free(1);
+  std::vector<Value> prefs;
+  SpecReport report;
+  int steps = 0;
+};
+
+[[nodiscard]] ShrinkResult shrink_failure(const FuzzConfig& cfg,
+                                          const RunDriver& driver,
+                                          const FailurePattern& alpha,
+                                          const std::vector<Value>& prefs);
+
+}  // namespace eba

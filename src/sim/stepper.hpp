@@ -37,6 +37,7 @@
 //    refcounted messages.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <span>
 #include <utility>
@@ -47,6 +48,32 @@
 #include "failure/pattern.hpp"
 
 namespace eba {
+
+/// What an adaptive adversary observes when a round is staged: the actions
+/// every agent is about to perform, plus the decide bookkeeping derived from
+/// them. `round` is the pattern round index m (= the stepper's current
+/// time), so drops recorded at round m filter exactly the messages staged
+/// here — the broadcasts of protocol round m+1.
+struct StagedRound {
+  int round = 0;
+  int t = 0;
+  /// actions[i]: agent i's staged action this round.
+  std::span<const Action> actions;
+  /// Agents staging their *first* decide this round.
+  AgentSet deciding_now;
+  /// Agents decided in any round up to and including this one.
+  AgentSet decided;
+};
+
+/// Online adversary callback, invoked by `Stepper::begin_round()` after the
+/// round's actions are fixed and before any message moves. The hook may add
+/// drops to the instance's pattern at rounds >= staged.round; both the
+/// in-memory round paths and external transports (which must re-read
+/// `pattern()` after begin_round — see net/workload.hpp) then filter the
+/// staged messages with the updated pattern. sim/adaptive.hpp wraps
+/// `AdversaryStrategy` objects into hooks and enforces the SO(t)/GO(t)
+/// budget after every invocation.
+using AdversaryHook = std::function<void(const StagedRound&, FailurePattern&)>;
 
 /// Exchanges whose µ is destination-independent declare
 /// `static constexpr bool kBroadcast = true`. The engine then computes one
@@ -166,6 +193,15 @@ class Stepper {
   [[nodiscard]] const std::vector<State>& states() const { return states_; }
   [[nodiscard]] const FailurePattern& pattern() const { return alpha_; }
 
+  /// Installs an online adversary (see AdversaryHook above). Must be set
+  /// before the first round; replacing it mid-run would make the realized
+  /// pattern unattributable to one strategy.
+  void set_adversary_hook(AdversaryHook hook) {
+    EBA_REQUIRE(time_ == 0 && !in_round_,
+                "adversary hook must be installed before the first round");
+    adversary_ = std::move(hook);
+  }
+
   /// True when the instance will run no further round: the horizon is
   /// exhausted or (under early stopping) every agent has decided.
   [[nodiscard]] bool done() const {
@@ -199,14 +235,24 @@ class Stepper {
     EBA_REQUIRE(!in_round_, "begin_round called twice without finish_round");
     if (done()) return nullptr;
     actions_.assign(static_cast<std::size_t>(n_), Action::noop());
+    AgentSet deciding_now;
     for (AgentId i = 0; i < n_; ++i) {
       const Action a = (*act_)(states_[static_cast<std::size_t>(i)]);
       actions_[static_cast<std::size_t>(i)] = a;
       if (a.is_decide() && !decided_[static_cast<std::size_t>(i)]) {
         decided_[static_cast<std::size_t>(i)] = true;
+        decided_set_.insert(i);
+        deciding_now.insert(i);
         --undecided_;
       }
     }
+    if (adversary_)
+      adversary_(StagedRound{.round = time_,
+                             .t = t_,
+                             .actions = actions_,
+                             .deciding_now = deciding_now,
+                             .decided = decided_set_},
+                 alpha_);
     in_round_ = true;
     return &actions_;
   }
@@ -373,6 +419,8 @@ class Stepper {
   int time_ = 0;
   int undecided_;
   bool in_round_ = false;
+  AdversaryHook adversary_;
+  AgentSet decided_set_;  ///< same info as decided_, in the hook's currency
   std::vector<bool> decided_;
   std::vector<State> states_;
   std::vector<Action> actions_;  ///< the in-flight round's actions

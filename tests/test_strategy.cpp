@@ -1,0 +1,309 @@
+// Adversary-strategy layer: the worst-case searchers against exhaustive
+// sweeps, the adaptive strategies' validity contract, and the seeded fuzz
+// determinism.
+//
+//  * greedy/B&B (failure/strategy.hpp) are pinned against the exhaustive
+//    canonical-orbit maximum on spaces small enough to sweep — the B&B must
+//    match it EXACTLY (it visits a representative of every orbit), and the
+//    prunings must not change the answer;
+//  * every shipped adaptive strategy must realize a pattern inside its
+//    declared SO(t)/GO(t) budget and keep the certified protocols
+//    spec-clean, and a strategy that breaks the hook contract must throw;
+//  * fuzz cases are pure functions of (config, index): replaying an index
+//    reproduces the pattern, preferences and verdict bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spec.hpp"
+#include "failure/canonical.hpp"
+#include "failure/strategy.hpp"
+#include "sim/adaptive.hpp"
+#include "sim/fuzz.hpp"
+#include "sim/objective.hpp"
+
+namespace eba {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Worst-case search vs exhaustive sweep
+// ---------------------------------------------------------------------------
+
+EnumerationConfig space_of(int n, int t, int rounds, FailureModel model) {
+  EnumerationConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.rounds = rounds;
+  cfg.model = model;
+  return cfg;
+}
+
+/// The ground truth: evaluate every canonical orbit representative. The
+/// evaluator maximizes over ALL preference vectors, so its score is
+/// relabeling-invariant and the orbit maximum equals the space maximum.
+double exhaustive_max(const EnumerationConfig& cfg,
+                      const PatternEvaluator& eval) {
+  double best = -std::numeric_limits<double>::infinity();
+  enumerate_canonical_adversaries(
+      cfg, [&](const FailurePattern& p, std::uint64_t) {
+        best = std::max(best, eval(p).score);
+        return true;
+      });
+  return best;
+}
+
+PatternEvaluator evaluator_for(SearchObjective objective, ProtocolKind kind,
+                               int n, int t) {
+  ObjectiveConfig cfg;
+  cfg.objective = objective;
+  cfg.protocol = kind;
+  cfg.n = n;
+  cfg.t = t;
+  return make_pattern_evaluator(cfg);
+}
+
+struct SweepCase {
+  ProtocolKind kind;
+  int n;
+  int t;
+  int rounds;
+  FailureModel model;
+};
+
+TEST(WorstCaseSearch, BnbMatchesExhaustiveDecisionRound) {
+  const SweepCase cases[] = {
+      {ProtocolKind::p_min, 3, 1, 2, FailureModel::sending},
+      {ProtocolKind::p_basic, 4, 1, 2, FailureModel::sending},
+      {ProtocolKind::p_opt, 4, 1, 2, FailureModel::sending},
+      {ProtocolKind::p_opt_go, 3, 1, 2, FailureModel::general},
+  };
+  for (const SweepCase& c : cases) {
+    const auto eval =
+        evaluator_for(SearchObjective::decision_round, c.kind, c.n, c.t);
+    SearchOptions opt;
+    opt.space = space_of(c.n, c.t, c.rounds, c.model);
+    const SearchResult got = branch_and_bound_worst_case(opt, eval);
+    const double want = exhaustive_max(opt.space, eval);
+    EXPECT_EQ(got.best_score, want) << to_string(c.kind);
+    // The winning pattern really scores what the search claims, and lives
+    // in the advertised space.
+    EXPECT_EQ(eval(got.best).score, got.best_score) << to_string(c.kind);
+    EXPECT_TRUE(c.model == FailureModel::sending ? got.best.in_so(c.t)
+                                                 : got.best.in_go(c.t));
+    // Every protocol here has a worst case at the Prop 6.1 bound t+2.
+    EXPECT_EQ(got.best_score, static_cast<double>(c.t + 2))
+        << to_string(c.kind);
+  }
+}
+
+TEST(WorstCaseSearch, BnbMatchesExhaustiveMessagesSuppressed) {
+  const auto eval = evaluator_for(SearchObjective::messages_suppressed,
+                                  ProtocolKind::p_min, 4, 1);
+  SearchOptions opt;
+  opt.space = space_of(4, 1, 2, FailureModel::sending);
+  opt.objective = SearchObjective::messages_suppressed;
+  const SearchResult got = branch_and_bound_worst_case(opt, eval);
+  EXPECT_EQ(got.best_score, exhaustive_max(opt.space, eval));
+  EXPECT_GT(got.best_score, 0.0);
+}
+
+TEST(WorstCaseSearch, BnbMatchesExhaustiveEvidenceAmbiguity) {
+  const auto eval = evaluator_for(SearchObjective::evidence_ambiguity,
+                                  ProtocolKind::p_opt, 3, 1);
+  SearchOptions opt;
+  opt.space = space_of(3, 1, 2, FailureModel::sending);
+  opt.objective = SearchObjective::evidence_ambiguity;
+  const SearchResult got = branch_and_bound_worst_case(opt, eval);
+  EXPECT_EQ(got.best_score, exhaustive_max(opt.space, eval));
+}
+
+TEST(WorstCaseSearch, PruningsDoNotChangeTheAnswer) {
+  const auto eval =
+      evaluator_for(SearchObjective::decision_round, ProtocolKind::p_opt, 3, 1);
+  SearchOptions pruned;
+  pruned.space = space_of(3, 1, 2, FailureModel::sending);
+  SearchOptions bare = pruned;
+  bare.use_symmetry = false;
+  bare.use_settled_pruning = false;
+  const SearchResult a = branch_and_bound_worst_case(pruned, eval);
+  const SearchResult b = branch_and_bound_worst_case(bare, eval);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_GT(a.stats.pruned_symmetry + a.stats.pruned_settled, 0u)
+      << "the pruned search should actually prune something here";
+  EXPECT_LE(a.stats.evaluations, b.stats.evaluations);
+}
+
+TEST(WorstCaseSearch, CeilingTurnsSearchIntoFirstWitness) {
+  const auto eval =
+      evaluator_for(SearchObjective::decision_round, ProtocolKind::p_min, 4, 1);
+  SearchOptions full;
+  full.space = space_of(4, 1, 2, FailureModel::sending);
+  SearchOptions capped = full;
+  capped.score_ceiling = 3.0;  // Prop 6.1: t+2
+  const SearchResult a = branch_and_bound_worst_case(full, eval);
+  const SearchResult b = branch_and_bound_worst_case(capped, eval);
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_TRUE(b.ceiling_reached);
+  EXPECT_LE(b.stats.evaluations, a.stats.evaluations);
+}
+
+TEST(WorstCaseSearch, GreedyIsValidAndBoundedByBnb) {
+  const auto eval =
+      evaluator_for(SearchObjective::decision_round, ProtocolKind::p_opt, 4, 1);
+  SearchOptions opt;
+  opt.space = space_of(4, 1, 2, FailureModel::sending);
+  const SearchResult greedy = greedy_worst_case(opt, eval);
+  const SearchResult exact = branch_and_bound_worst_case(opt, eval);
+  EXPECT_TRUE(greedy.best.in_so(1));
+  EXPECT_LE(greedy.best_score, exact.best_score);
+  EXPECT_EQ(eval(greedy.best).score, greedy.best_score);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive strategies: validity + spec cleanliness
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveStrategy, ShippedStrategiesStayInsideTheirBudget) {
+  const int n = 5;
+  const int t = 2;
+  for (FailureModel model : {FailureModel::sending, FailureModel::general}) {
+    // The certified protocol for the model; every shipped strategy of the
+    // model must leave it spec-clean.
+    const ProtocolKind kind = model == FailureModel::sending
+                                  ? ProtocolKind::p_opt
+                                  : ProtocolKind::p_opt_go;
+    const AdaptiveDriver drive = make_adaptive_driver(kind, n, t);
+    for (const NamedStrategyFactory& f : shipped_strategies(n, t, model)) {
+      for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+        const auto strat = f.make(seed);
+        std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+        prefs[static_cast<std::size_t>(n - 1)] = Value::zero;
+        const AdaptiveOutcome out = drive(*strat, prefs);
+        const std::string what = f.name + " seed " + std::to_string(seed);
+        // Realized pattern: within the budget of the STRATEGY's model (a
+        // strategy may promise SO even when run in a GO sweep).
+        EXPECT_TRUE(strat->model() == FailureModel::sending
+                        ? out.realized.in_so(t)
+                        : out.realized.in_go(t))
+            << what;
+        const SpecReport rep = check_eba(out.summary.record);
+        EXPECT_TRUE(rep.ok_strict())
+            << what << (rep.violations.empty() ? "" : ": " + rep.violations[0]);
+        // Replaying the realized pattern as a STATIC adversary reproduces
+        // the adaptive run (the hook only ever added current-round drops).
+        const RunSummary replay =
+            make_driver(kind, n, t)(out.realized, prefs);
+        EXPECT_EQ(replay.record.actions, out.summary.record.actions) << what;
+        EXPECT_EQ(replay.record.delivered, out.summary.record.delivered)
+            << what;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveStrategy, RandomBudgetIsSeedDeterministic) {
+  const int n = 6;
+  const int t = 2;
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  const AdaptiveDriver drive = make_adaptive_driver(ProtocolKind::p_opt_go, n, t);
+  const auto a = make_random_budget_strategy(n, t, FailureModel::general, 42);
+  const auto b = make_random_budget_strategy(n, t, FailureModel::general, 42);
+  const auto c = make_random_budget_strategy(n, t, FailureModel::general, 43);
+  const FailurePattern ra = drive(*a, prefs).realized;
+  const FailurePattern rb = drive(*b, prefs).realized;
+  const FailurePattern rc = drive(*c, prefs).realized;
+  EXPECT_TRUE(ra == rb) << "same seed, same realized pattern";
+  EXPECT_FALSE(ra == rc) << "different seed should diverge here";
+}
+
+/// A strategy that violates the hook contract by rewriting round 0 once the
+/// run has moved past it.
+class RewritesThePast final : public AdversaryStrategy {
+ public:
+  explicit RewritesThePast(int n) : n_(n) {}
+  [[nodiscard]] std::string name() const override { return "rewrites_past"; }
+  [[nodiscard]] FailureModel model() const override {
+    return FailureModel::sending;
+  }
+  [[nodiscard]] FailurePattern base_pattern() override {
+    AgentSet nonfaulty = AgentSet::all(n_);
+    nonfaulty.erase(0);
+    return FailurePattern(n_, nonfaulty);
+  }
+  void on_round(const StagedRound& obs, FailurePattern& alpha) override {
+    if (obs.round >= 1) alpha.drop(0, 0, 1);
+  }
+
+ private:
+  int n_;
+};
+
+/// A strategy that claims SO but sneaks in a receive drop.
+class CheatsThePlane final : public AdversaryStrategy {
+ public:
+  explicit CheatsThePlane(int n) : n_(n) {}
+  [[nodiscard]] std::string name() const override { return "cheats_plane"; }
+  [[nodiscard]] FailureModel model() const override {
+    return FailureModel::sending;
+  }
+  [[nodiscard]] FailurePattern base_pattern() override {
+    AgentSet nonfaulty = AgentSet::all(n_);
+    nonfaulty.erase(0);
+    return FailurePattern(n_, nonfaulty);
+  }
+  void on_round(const StagedRound& obs, FailurePattern& alpha) override {
+    alpha.drop_receive(obs.round, 1, 0);
+  }
+
+ private:
+  int n_;
+};
+
+TEST(AdaptiveStrategy, HookRejectsContractViolations) {
+  const int n = 4;
+  const int t = 1;
+  const AdaptiveDriver drive = make_adaptive_driver(ProtocolKind::p_min, n, t);
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  RewritesThePast past(n);
+  EXPECT_THROW((void)drive(past, prefs), std::logic_error);
+  CheatsThePlane plane(n);
+  EXPECT_THROW((void)drive(plane, prefs), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz determinism
+// ---------------------------------------------------------------------------
+
+TEST(FuzzDeterminism, CasesReplayFromTheirIndex) {
+  FuzzConfig cfg;
+  cfg.n = 12;
+  cfg.t = 3;
+  cfg.model = FailureModel::general;
+  cfg.base_seed = 7;
+  for (std::uint64_t idx : {0ull, 1ull, 17ull, 999ull}) {
+    const FuzzCase a = fuzz_case(cfg, idx);
+    const FuzzCase b = fuzz_case(cfg, idx);
+    EXPECT_TRUE(a.alpha == b.alpha) << idx;
+    EXPECT_EQ(a.prefs, b.prefs) << idx;
+    EXPECT_EQ(a.seed, b.seed) << idx;
+  }
+  // Distinct indices must not collide on this tiny sample.
+  EXPECT_FALSE(fuzz_case(cfg, 0).alpha == fuzz_case(cfg, 1).alpha);
+}
+
+TEST(FuzzDeterminism, ReportsAreReproducible) {
+  FuzzConfig cfg;
+  cfg.n = 6;
+  cfg.t = 2;
+  cfg.protocol = ProtocolKind::p_basic;
+  cfg.iterations = 25;
+  cfg.base_seed = 11;
+  const FuzzReport a = run_fuzz(cfg);
+  const FuzzReport b = run_fuzz(cfg);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_TRUE(a.ok()) << "P_basic must be spec-clean";
+}
+
+}  // namespace
+}  // namespace eba

@@ -300,6 +300,78 @@ TEST(WorkloadTest, MaxRoundsTruncatesEveryInstance) {
   for (const auto& inst : result.instances) EXPECT_EQ(inst.record.rounds, 1);
 }
 
+TEST(AdaptiveWorkloadTest, ThreeEnginesAgreeOnSeededStrategies) {
+  // The adaptive differential: a fresh same-seeded strategy driven through
+  // (a) the bare Stepper (run_adaptive), (b) simulate_adaptive and (c) the
+  // wire-path worker pool must produce identical RunRecords and identical
+  // realized patterns. Strategy RNG consumption is observation-independent,
+  // so the seed pins the whole run; any divergence means one engine shows
+  // the strategy a different world (or applies its drops differently).
+  const int n = 4;
+  const int t = 2;
+  const FipExchange x(n);
+  const POpt p(n, t);
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  prefs[static_cast<std::size_t>(n - 1)] = Value::zero;
+
+  for (const auto& factory : shipped_strategies(n, t, FailureModel::general)) {
+    for (std::uint64_t seed : {5ull, 6ull}) {
+      const std::string what = factory.name + " seed " + std::to_string(seed);
+
+      auto bare_strat = factory.make(seed);
+      const AdaptiveOutcome bare = run_adaptive(x, p, *bare_strat, prefs, t);
+
+      auto sim_strat = factory.make(seed);
+      FailurePattern sim_realized = FailurePattern::failure_free(1);
+      const auto sim = simulate_adaptive(x, p, *sim_strat, prefs, t,
+                                         SimulateOptions{}, &sim_realized);
+
+      std::vector<AdaptiveInstanceSpec> specs;
+      specs.push_back({factory.make(seed), prefs});
+      WorkloadOptions wopt;
+      wopt.workers = 2;
+      const auto pooled = run_adaptive_workload(x, p, std::span(specs), t, wopt);
+      ASSERT_EQ(pooled.instances.size(), 1u) << what;
+
+      expect_records_equal(sim.record, bare.summary.record, what + " [sim]");
+      expect_records_equal(pooled.instances[0].record, bare.summary.record,
+                           what + " [pool]");
+      EXPECT_TRUE(sim_realized == bare.realized) << what;
+    }
+  }
+}
+
+TEST(AdaptiveWorkloadTest, ManyInstancesUnderManyWorkers) {
+  // A batch of seeded random-budget instances over the pool equals the bare
+  // runs instance-for-instance, regardless of worker interleaving.
+  const int n = 5;
+  const int t = 2;
+  const MinExchange x(n);
+  const PMin p(n, t);
+  Rng rng(301);
+  std::vector<AdaptiveInstanceSpec> specs;
+  std::vector<std::vector<Value>> all_prefs;
+  for (int k = 0; k < 24; ++k) {
+    const auto prefs = sample_preferences(n, rng);
+    specs.push_back({make_random_budget_strategy(
+                         n, t, FailureModel::general,
+                         static_cast<std::uint64_t>(k)),
+                     prefs});
+    all_prefs.push_back(prefs);
+  }
+  WorkloadOptions wopt;
+  wopt.workers = 4;
+  const auto pooled = run_adaptive_workload(x, p, std::span(specs), t, wopt);
+  ASSERT_EQ(pooled.instances.size(), specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    auto strat = make_random_budget_strategy(n, t, FailureModel::general,
+                                             static_cast<std::uint64_t>(k));
+    const AdaptiveOutcome want = run_adaptive(x, p, *strat, all_prefs[k], t);
+    expect_records_equal(pooled.instances[k].record, want.summary.record,
+                         "instance " + std::to_string(k));
+  }
+}
+
 TEST(ClusterWrapperTest, RunClusterEqualsThreadPerAgent) {
   // The new single-instance wrapper and the legacy thread-per-agent model
   // must agree record-for-record (both are also pinned against simulate()
