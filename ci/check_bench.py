@@ -25,7 +25,11 @@ decision round, if the Example-7.1 anchor or the adaptive-vs-static
 comparison breaks, if any spec-oracle fuzz row reports a violation, or if
 the headline search regressed >max-ratio in wall time. The throughput check
 also gates worker scaling: the best multi-worker row must stay >= 0.5x the
-workers:1 row (loose tolerance for single-core runners).
+workers:1 row (loose tolerance for single-core runners). When recovery
+reports are supplied (bench_recovery → BENCH_recovery.json), it fails if
+any streamed trace stopped verifying offline, if snapshotting or crash
+injection changed a run record, if any tamper mutation was accepted, or if
+replay-verification throughput fell below baseline/max-ratio.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -42,6 +46,8 @@ Usage:
       [--baseline-synthesis BENCH_synthesis.json] \
       [--fresh-synthesis fresh/BENCH_synthesis.json] \
       [--baseline-go BENCH_go.json] [--fresh-go fresh/BENCH_go.json] \
+      [--baseline-recovery BENCH_recovery.json] \
+      [--fresh-recovery fresh/BENCH_recovery.json] \
       [--max-ratio 2.0] [--min-speedup 5.0] [--min-synthesis-speedup 5.0]
 """
 
@@ -263,6 +269,47 @@ def check_adversary(baseline_path, fresh_path, max_ratio, failures):
                 f"violations in {row.get('runs')} fuzz runs")
 
 
+def check_recovery(baseline_path, fresh_path, max_ratio, failures):
+    """Gates BENCH_recovery.json: replay-verification throughput against the
+    committed baseline, plus every correctness flag — traces verifying
+    offline, snapshot/crash runs matching uninterrupted records, and the
+    tamper sweep rejecting every mutation."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+
+    base_tps = float(baseline["headline"]["traces_per_sec"])
+    fresh_tps = float(fresh["headline"]["traces_per_sec"])
+    ratio = base_tps / fresh_tps if fresh_tps > 0 else float("inf")
+    flag = " <-- REGRESSION" if ratio > max_ratio else ""
+    print(f"{'recovery replay':<24} {base_tps:>10.0f}/s {fresh_tps:>10.0f}/s "
+          f"{ratio:>7.2f}x{flag}")
+    if ratio > max_ratio:
+        failures.append(
+            f"recovery replay: {fresh_tps:.0f} verifications/s vs baseline "
+            f"{base_tps:.0f} ({ratio:.2f}x slower > {max_ratio}x)")
+
+    if not fresh.get("headline", {}).get("ok", False):
+        failures.append("recovery headline: a streamed trace failed offline "
+                        "verification")
+    snapshot = fresh.get("snapshot", {})
+    if not snapshot.get("ok", False):
+        failures.append("recovery snapshot: every-round checkpoints changed "
+                        "the run records")
+    for row in fresh.get("crash_storms", []):
+        if not row.get("ok", False):
+            failures.append(
+                f"recovery {row.get('label')}: records_equal="
+                f"{row.get('records_equal')} traces_ok={row.get('traces_ok')} "
+                f"crashes={row.get('crashes')}")
+    tamper = fresh.get("tamper", {})
+    if not tamper.get("ok", False):
+        failures.append(
+            f"recovery tamper sweep: {tamper.get('rejected')} of "
+            f"{tamper.get('mutations')} mutations rejected")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -283,6 +330,10 @@ def main():
                         help="committed BENCH_adversary.json")
     parser.add_argument("--fresh-adversary",
                         help="freshly generated BENCH_adversary.json")
+    parser.add_argument("--baseline-recovery",
+                        help="committed BENCH_recovery.json")
+    parser.add_argument("--fresh-recovery",
+                        help="freshly generated BENCH_recovery.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
@@ -352,6 +403,13 @@ def main():
     elif args.baseline_adversary:
         check_adversary(args.baseline_adversary, args.fresh_adversary,
                         args.max_ratio, failures)
+
+    if bool(args.baseline_recovery) != bool(args.fresh_recovery):
+        failures.append("--baseline-recovery and --fresh-recovery must be "
+                        "passed together")
+    elif args.baseline_recovery:
+        check_recovery(args.baseline_recovery, args.fresh_recovery,
+                       args.max_ratio, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

@@ -107,6 +107,22 @@ else()
   message(WARNING "bench_adversary binary not found; BENCH_adversary.json not refreshed")
 endif()
 
+# --- bench_recovery: emits its own JSON on stdout ----------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_recovery)
+  message(STATUS "Running bench_recovery (trace replay + crash storms, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_recovery
+    RESULT_VARIABLE rec_rc
+    OUTPUT_VARIABLE rec_out
+    ERROR_VARIABLE rec_err)
+  if(NOT rec_rc EQUAL 0)
+    message(FATAL_ERROR "bench_recovery failed (rc=${rec_rc}):\n${rec_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_recovery.json "${rec_out}")
+else()
+  message(WARNING "bench_recovery binary not found; BENCH_recovery.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

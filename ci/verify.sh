@@ -7,3 +7,4 @@ cmake --build build -j
 cd build
 ctest --output-on-failure -j
 ./bench_adversary --fuzz-smoke
+./replay_verify --selftest

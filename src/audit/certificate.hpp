@@ -1,0 +1,84 @@
+// Decision certificates: compact, hash-chained evidence that an agreement
+// instance decided what it claims to have decided.
+//
+// A certificate is derived from the protocol-agnostic RunRecord. Every
+// round contributes an evidence digest over its packed plane words
+// (actions, sent, delivered); digests are folded into a hash chain whose
+// head, together with the realized-omission pattern digest and the decision
+// summary, forms the final (instance, pattern_digest, decided_value, round)
+// record. Anyone holding the replayed trace can rebuild the chain and
+// compare — `verify_certificate` below, and the standalone `replay_verify`
+// binary (tools/) combine this with the offline EBA spec check
+// (core/spec.hpp), making a decided value an independently checkable
+// artifact instead of an in-memory boolean.
+//
+// This is the audit-trail half of the evidence-based pattern: the digest is
+// a corruption/bug detector, not a cryptographic commitment (no signatures
+// — authenticated agreement is future work; see docs/RECOVERY.md).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/serialize.hpp"
+
+namespace eba {
+
+/// One link of the evidence chain. `chain` = H(prev_chain, round, digest),
+/// seeded with the header digest, so any reordering, dropping or edit of a
+/// round breaks every later link.
+struct RoundEvidence {
+  int round = 0;                      ///< 1-based protocol round (m+1)
+  std::uint64_t evidence_digest = 0;  ///< digest over the round's planes
+  std::uint64_t chain = 0;            ///< running chain value after this round
+
+  friend bool operator==(const RoundEvidence&, const RoundEvidence&) = default;
+};
+
+struct DecisionCertificate {
+  std::uint64_t instance_id = 0;
+  int n = 0;
+  int t = 0;
+  int rounds = 0;
+  /// Digest over the context: n, t, nonfaulty set, initial preferences.
+  std::uint64_t header_digest = 0;
+  /// Digest over the realized omissions visible in the record — the
+  /// per-round (sent \ delivered) planes. For adaptive adversaries this is
+  /// the REALIZED pattern, which is exactly what must survive snapshots.
+  std::uint64_t pattern_digest = 0;
+  std::vector<RoundEvidence> evidence;
+  /// The unanimous nonfaulty decision, when the run reached one; nullopt
+  /// for truncated (max_rounds-cut) or violating runs.
+  std::optional<Value> decided_value;
+  /// Last round in which a nonfaulty agent first decided (-1 if none).
+  int decided_round = -1;
+  /// Chain head folded with the decision summary: the certificate's value.
+  std::uint64_t final_digest = 0;
+
+  friend bool operator==(const DecisionCertificate&,
+                         const DecisionCertificate&) = default;
+};
+
+/// Builds the certificate for a (possibly truncated) run record.
+[[nodiscard]] DecisionCertificate build_certificate(
+    const RunRecord& record, std::uint64_t instance_id = 0);
+
+struct CertificateCheck {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+/// Re-derives the certificate from `record` and compares link by link;
+/// reports every divergence (wrong chain link, edited decision, wrong
+/// pattern digest) instead of stopping at the first.
+[[nodiscard]] CertificateCheck verify_certificate(
+    const DecisionCertificate& cert, const RunRecord& record);
+
+/// Certificate codec (used inside trace files and standalone). The decoder
+/// rejects structurally impossible certificates with DecodeError.
+void encode_certificate(Writer& w, const DecisionCertificate& cert);
+[[nodiscard]] DecisionCertificate decode_certificate(Reader& r);
+
+}  // namespace eba

@@ -1,0 +1,51 @@
+// 64-bit incremental digest for decision certificates (FNV-1a).
+//
+// Certificates need a cheap, deterministic, order-sensitive digest over the
+// packed plane words of a run — not a cryptographic commitment (the threat
+// model is corruption and software bugs, not forgery; see docs/RECOVERY.md).
+// FNV-1a over little-endian words is endian-stable, allocation-free, and
+// fast enough to disappear inside replay verification.
+#pragma once
+
+#include <cstdint>
+
+#include "core/agent_set.hpp"
+
+namespace eba {
+
+class Digest64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void u8(std::uint8_t v) { h_ = (h_ ^ v) * kPrime; }
+
+  void u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8)
+      u8(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8)
+      u8(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+
+  void word(AgentSet s) { u64(s.bits()); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+  /// One-shot chaining step: H(prev, a, b) for hash-chain links.
+  [[nodiscard]] static std::uint64_t chain(std::uint64_t prev,
+                                           std::uint64_t a, std::uint64_t b) {
+    Digest64 d;
+    d.u64(prev);
+    d.u64(a);
+    d.u64(b);
+    return d.value();
+  }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+}  // namespace eba

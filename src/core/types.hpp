@@ -83,6 +83,8 @@ struct RunRecord {
 
   /// First round in which i decides, or nullopt.
   [[nodiscard]] std::optional<Decision> decision(AgentId i) const;
+
+  friend bool operator==(const RunRecord&, const RunRecord&) = default;
 };
 
 }  // namespace eba

@@ -10,14 +10,15 @@ BusPool::BusPool(std::size_t capacity) : slots_(capacity) {
   for (std::size_t id = capacity; id > 0; --id) free_.push_back(id - 1);
 }
 
-BusPool::SlotId BusPool::acquire(FailurePattern alpha) {
+BusPool::SlotId BusPool::acquire(FailurePattern alpha, int resume_round) {
   std::lock_guard lock(mu_);
+  EBA_REQUIRE(resume_round >= 0, "resume round cannot be negative");
   EBA_REQUIRE(!free_.empty(), "bus pool exhausted");
   const SlotId id = free_.back();
   free_.pop_back();
   Slot& slot = slots_[id];
   slot.busy = true;
-  slot.round = 0;
+  slot.round = resume_round;
   slot.alpha = std::move(alpha);
   return id;
 }

@@ -47,7 +47,10 @@ class BusPool {
 
   /// Claims a free slot for an instance governed by `alpha`. Throws when the
   /// pool is exhausted — admission control is the caller's job.
-  [[nodiscard]] SlotId acquire(FailurePattern alpha);
+  /// `resume_round` seeds the slot's round counter: a crashed instance that
+  /// is restored from a round-`m` checkpoint re-acquires a slot with
+  /// resume_round = m so the wire path filters with the right round index.
+  [[nodiscard]] SlotId acquire(FailurePattern alpha, int resume_round = 0);
   /// Returns a slot to the pool; the slot's round counter resets.
   void release(SlotId id);
 

@@ -1,27 +1,79 @@
-// Byte-level wire format for protocol messages.
+// Byte-level wire format for protocol messages and durable artifacts.
 //
 // The abstract model treats messages as values; the threaded runtime sends
 // real byte payloads. Each exchange's message alphabet gets an encoder and a
-// decoder; CommGraph payloads carry their full label matrix.
+// decoder; CommGraph payloads carry their full label matrix. On top of the
+// message codecs this layer provides the building blocks the durability
+// subsystem (src/audit, net/checkpoint.hpp) shares: failure-pattern,
+// run-record and exchange-state codecs, CRC32, and CRC-guarded frames.
+//
+// Every decode failure on untrusted bytes throws `DecodeError` — a typed
+// error distinct from EBA_REQUIRE's std::logic_error, which stays reserved
+// for caller bugs. Malformed, truncated, bit-flipped and over-length buffers
+// must land in DecodeError, never UB (tests/test_net.cpp fuzzes this).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/types.hpp"
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
+#include "exchange/min.hpp"
+#include "failure/pattern.hpp"
 #include "graph/comm_graph.hpp"
 
 namespace eba {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Typed failure for any decoder fed untrusted bytes. `kind()` classifies
+/// the rejection so tools can print actionable diagnostics (and tests can
+/// assert the right path fired) without string matching.
+class DecodeError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    truncated,     ///< buffer ended before the value it promised
+    trailing,      ///< value decoded but unconsumed bytes remain
+    malformed,     ///< a field holds a value outside its domain
+    bad_magic,     ///< container does not start with the expected magic
+    bad_version,   ///< container version unknown to this build
+    crc_mismatch,  ///< frame checksum does not match its payload
+    missing_frame, ///< a required frame (header, certificate) is absent
+  };
+
+  DecodeError(Kind kind, const std::string& what)
+      : std::runtime_error("decode error (" + std::string(kind_name(kind)) +
+                           "): " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  [[nodiscard]] static const char* kind_name(Kind k) {
+    switch (k) {
+      case Kind::truncated: return "truncated";
+      case Kind::trailing: return "trailing bytes";
+      case Kind::malformed: return "malformed";
+      case Kind::bad_magic: return "bad magic";
+      case Kind::bad_version: return "unsupported version";
+      case Kind::crc_mismatch: return "crc mismatch";
+      case Kind::missing_frame: return "missing frame";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_;
+};
+
 class Writer {
  public:
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
   /// Low `nbytes` bytes of `v`, little-endian. Used for the packed n-bit
   /// rows of communication graphs (nbytes = ceil(n / 8)).
   void word(std::uint64_t v, int nbytes);
@@ -36,13 +88,41 @@ class Reader {
   explicit Reader(const Bytes& data) : data_(data) {}
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] std::uint64_t word(int nbytes);
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 
  private:
   const Bytes& data_;
   std::size_t pos_ = 0;
 };
+
+// -- CRC32 and frames --------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). Guards every durable frame;
+/// detects all single-bit flips and all burst errors up to 32 bits.
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+[[nodiscard]] inline std::uint32_t crc32(const Bytes& b) {
+  return crc32(b.data(), b.size());
+}
+
+/// One CRC-guarded frame inside a durable container: kind byte, u32 payload
+/// length, payload bytes, u32 CRC over (kind, length, payload).
+struct Frame {
+  std::uint8_t kind = 0;
+  Bytes payload;
+};
+
+/// Appends `payload` to `out` as a frame of the given kind.
+void write_frame(Bytes& out, std::uint8_t kind, const Bytes& payload);
+
+/// Reads the frame starting at `pos` (advanced past it on success). Throws
+/// DecodeError on truncation or CRC mismatch.
+[[nodiscard]] Frame read_frame(const Bytes& buf, std::size_t& pos);
+
+// -- Message codecs ----------------------------------------------------------
 
 // E_min messages (a bare Value).
 void encode_message(Writer& w, Value m);
@@ -59,6 +139,35 @@ void decode_message(Reader& r, std::shared_ptr<const CommGraph>& m);
 void encode_graph(Writer& w, const CommGraph& g);
 [[nodiscard]] CommGraph decode_graph(Reader& r);
 
+// -- Failure patterns and run records ----------------------------------------
+
+/// Both planes of a failure pattern, chunked per-round word rows. The
+/// decoder revalidates plane membership (send drops only from faulty
+/// senders, receive drops only at faulty receivers, never self) so a
+/// tampered buffer cannot materialize a pattern the constructors forbid.
+void encode_pattern(Writer& w, const FailurePattern& alpha);
+[[nodiscard]] FailurePattern decode_pattern(Reader& r);
+
+/// The full protocol-agnostic run record: header, inits, and the per-round
+/// action / sent / delivered planes (actions one byte each, plane rows as
+/// packed words). delivered ⊆ sent is revalidated on decode.
+void encode_record(Writer& w, const RunRecord& record);
+[[nodiscard]] RunRecord decode_record(Reader& r);
+
+// -- Exchange-state codecs (checkpointing) -----------------------------------
+//
+// Serialize the SEMANTIC part of each exchange state — the fields equality
+// compares. FipState's lazily filled caches (inferred actions, knowledge)
+// are derived data keyed on the graph; a restored state starts with empty
+// caches and refills them on demand, observably identically.
+
+void encode_state(Writer& w, const MinState& s);
+void decode_state(Reader& r, MinState& s);
+void encode_state(Writer& w, const BasicState& s);
+void decode_state(Reader& r, BasicState& s);
+void encode_state(Writer& w, const FipState& s);
+void decode_state(Reader& r, FipState& s);
+
 template <class Message>
 [[nodiscard]] Bytes to_bytes(const Message& m) {
   Writer w;
@@ -71,7 +180,9 @@ template <class Message>
   Reader r(b);
   Message m;
   decode_message(r, m);
-  EBA_REQUIRE(r.exhausted(), "trailing bytes in message payload");
+  if (!r.exhausted())
+    throw DecodeError(DecodeError::Kind::trailing,
+                      "message payload has unconsumed bytes");
   return m;
 }
 

@@ -25,24 +25,43 @@
 // Per-instance results are RunRecord-identical to `simulate()` (static) or
 // `simulate_adaptive()` (adaptive, same-seeded strategy) on the same
 // inputs — enforced by tests/test_workload.cpp.
+//
+// The driver is also the crash-recovery harness (tests/test_recovery.cpp,
+// bench_recovery): with a snapshot cadence each instance checkpoints itself
+// (net/checkpoint.hpp) at round boundaries, a `CrashSchedule` kills the
+// instance's "process" at seeded rounds — slot released, in-memory state
+// discarded, stepper rebuilt from the last checkpoint, adaptive strategy
+// rolled back, slot re-acquired at the resume round — and, by engine
+// determinism, the crashed-and-restored run finishes with the exact record
+// an uninterrupted run produces. `record_traces` streams one EBTR trace
+// (audit/trace_file.hpp) per instance, re-opened from the restored record
+// after every crash.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "audit/certificate.hpp"
+#include "audit/trace_file.hpp"
 #include "core/types.hpp"
 #include "exchange/exchange.hpp"
 #include "net/bus.hpp"
+#include "net/checkpoint.hpp"
 #include "net/pool.hpp"
 #include "net/serialize.hpp"
 #include "sim/adaptive.hpp"
 #include "sim/stepper.hpp"
+#include "stats/rng.hpp"
 
 namespace eba {
 
@@ -68,9 +87,45 @@ struct AdaptiveInstanceSpec {
   std::vector<Value> inits;
 };
 
+/// When instance k's "process" dies: after completing round `rounds[k][j]`,
+/// before starting the next one. Each scheduled crash fires exactly once —
+/// a restored instance re-executes the crashed rounds without re-dying at
+/// them, so every schedule terminates. Rounds must be sorted and >= 1.
+struct CrashSchedule {
+  std::vector<std::vector<int>> rounds;
+
+  /// A seeded crash storm: each instance crashes `crashes_per_instance`
+  /// times at uniform rounds in [1, horizon].
+  [[nodiscard]] static CrashSchedule seeded(std::size_t instances, int horizon,
+                                            std::uint64_t seed,
+                                            int crashes_per_instance = 1) {
+    EBA_REQUIRE(horizon >= 1, "crash storm needs a positive horizon");
+    EBA_REQUIRE(crashes_per_instance >= 0, "negative crash count");
+    CrashSchedule out;
+    out.rounds.resize(instances);
+    Rng rng(seed);
+    for (auto& mine : out.rounds) {
+      for (int c = 0; c < crashes_per_instance; ++c)
+        mine.push_back(1 + rng.below(horizon));
+      std::sort(mine.begin(), mine.end());
+      mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    }
+    return out;
+  }
+};
+
 struct WorkloadOptions {
   int workers = 0;     ///< worker threads; 0 = hardware concurrency
   int max_rounds = 0;  ///< per-instance horizon; 0 = t+4
+  /// Checkpoint cadence in rounds (0 = never). With a cadence, every
+  /// instance snapshots at time 0 and after each `snapshot_every`-th
+  /// completed round; crashes restore from the latest snapshot.
+  int snapshot_every = 0;
+  /// Crash-injection schedule (borrowed; may be null). Scheduling any crash
+  /// requires a snapshot cadence.
+  const CrashSchedule* crashes = nullptr;
+  /// Stream one durable EBTR trace per instance (WorkloadResult::traces).
+  bool record_traces = false;
 };
 
 template <ExchangeProtocol X>
@@ -85,6 +140,11 @@ struct WorkloadResult {
   int workers = 0;
   /// Instances concurrently in flight (= slots held) throughout the run.
   std::size_t concurrent_instances = 0;
+  /// traces[k]: instance k's finished trace container (instance_id = k),
+  /// present iff WorkloadOptions::record_traces.
+  std::vector<Bytes> traces;
+  std::size_t snapshots_taken = 0;
+  std::size_t crashes_injected = 0;
 };
 
 namespace detail {
@@ -212,30 +272,147 @@ void drive_round_sliced(std::size_t count, int workers, StepOne&& step_one) {
   run_workers(workers, [&](int /*worker*/) { worker_main(); });
 }
 
+/// One scheduled instance with its durability state: the live stepper and
+/// slot, the last checkpoint (crash-restore source), the instance's crash
+/// schedule position, and the streaming trace writer.
+template <ExchangeProtocol X, class P>
+struct ManagedInstance {
+  ManagedInstance(Stepper<X, P> s, BusPool::SlotId sl,
+                  AdversaryStrategy* strat = nullptr)
+      : stepper(std::move(s)), slot(sl), strategy(strat) {}
+
+  Stepper<X, P> stepper;
+  BusPool::SlotId slot = 0;
+  AdversaryStrategy* strategy = nullptr;  ///< adaptive instances only
+  Bytes checkpoint;                       ///< latest EBCK snapshot
+  std::span<const int> crash_rounds;      ///< borrowed from the schedule
+  std::size_t next_crash = 0;             ///< each entry fires once
+  std::optional<TraceWriter> trace;
+};
+
+/// Instance k's validated crash rounds (empty when none are scheduled).
+inline std::span<const int> crash_rounds_for(const CrashSchedule* crashes,
+                                             std::size_t idx) {
+  if (!crashes || idx >= crashes->rounds.size()) return {};
+  const std::vector<int>& mine = crashes->rounds[idx];
+  for (std::size_t k = 0; k < mine.size(); ++k)
+    EBA_REQUIRE(mine[k] >= 1 && (k == 0 || mine[k] > mine[k - 1]),
+                "crash rounds must be strictly increasing and >= 1");
+  return mine;
+}
+
+/// Shared durability setup: attaches crash schedules, opens the streaming
+/// trace writers, and cuts every instance's time-0 checkpoint.
+template <ExchangeProtocol X, class P>
+void prepare_durability(std::vector<ManagedInstance<X, P>>& instances,
+                        const WorkloadOptions& opt,
+                        WorkloadResult<X>& result) {
+  EBA_REQUIRE(opt.snapshot_every >= 0, "negative snapshot cadence");
+  bool any_crashes = false;
+  for (std::size_t k = 0; k < instances.size(); ++k) {
+    instances[k].crash_rounds = crash_rounds_for(opt.crashes, k);
+    any_crashes = any_crashes || !instances[k].crash_rounds.empty();
+  }
+  EBA_REQUIRE(!any_crashes || opt.snapshot_every > 0,
+              "crash injection requires a snapshot cadence "
+              "(WorkloadOptions::snapshot_every)");
+  if (opt.record_traces) {
+    result.traces.resize(instances.size());
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      const RunRecord& rec = instances[k].stepper.record();
+      instances[k].trace.emplace(static_cast<std::uint64_t>(k), rec.n, rec.t,
+                                 rec.nonfaulty, rec.inits);
+    }
+  }
+  if (opt.snapshot_every > 0) {
+    for (auto& inst : instances) {
+      inst.checkpoint = checkpoint_stepper(
+          inst.stepper,
+          inst.strategy ? inst.strategy->checkpoint_state() : std::string{});
+      result.snapshots_taken += 1;
+    }
+  }
+}
+
 /// The body shared by run_workload and run_adaptive_workload once every
-/// instance's stepper and slot exist: schedule, harvest, time.
-template <ExchangeProtocol X, class P, class Instances>
-void drive_workload(const X& x, BusPool& pool, Instances& instances,
-                    int workers, bool sync_pattern,
+/// instance's stepper and slot exist: schedule, inject crashes, snapshot,
+/// harvest, time.
+template <ExchangeProtocol X, class P>
+void drive_workload(const X& x, const P& act, int t, BusPool& pool,
+                    std::vector<ManagedInstance<X, P>>& instances, int workers,
+                    bool sync_pattern, const WorkloadOptions& opt,
                     WorkloadResult<X>& result) {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point admitted = Clock::now();
+  std::atomic<std::size_t> snapshots{0};
+  std::atomic<std::size_t> crashes{0};
 
   auto step_one = [&](std::size_t idx) -> bool {
     auto& inst = instances[idx];
-    if (!advance_wire_round<X, P>(x, inst.stepper, pool, inst.slot,
-                                  sync_pattern))
+
+    // Crash injection: the instance's "process" dies here and a fresh one
+    // restores from the last durable snapshot. Everything in-memory — the
+    // stepper, the slot, the strategy's mutable state, the unfinished trace
+    // stream — is torn down and rebuilt exactly as real recovery would.
+    if (inst.next_crash < inst.crash_rounds.size() &&
+        inst.stepper.time() >= inst.crash_rounds[inst.next_crash]) {
+      inst.next_crash += 1;
+      crashes.fetch_add(1, std::memory_order_relaxed);
+      pool.release(inst.slot);
+      std::string strategy_state;
+      inst.stepper = restore_stepper<X, P>(x, act, inst.checkpoint,
+                                           /*sink=*/nullptr, &strategy_state);
+      inst.slot = pool.acquire(inst.stepper.pattern(), inst.stepper.time());
+      if (inst.strategy) {
+        inst.strategy->restore_state(strategy_state);
+        inst.stepper.set_adversary_hook(make_strategy_hook(*inst.strategy, t));
+      }
+      if (inst.trace) {
+        const RunRecord& rec = inst.stepper.record();
+        inst.trace.emplace(static_cast<std::uint64_t>(idx), rec.n, rec.t,
+                           rec.nonfaulty, rec.inits);
+        inst.trace->add_record_rounds(rec);
+      }
+      return false;  // requeue: re-execute from the snapshot
+    }
+
+    const int before = inst.stepper.time();
+    const bool finished =
+        advance_wire_round<X, P>(x, inst.stepper, pool, inst.slot,
+                                 sync_pattern);
+    const bool advanced = inst.stepper.time() > before;
+    if (advanced && inst.trace) {
+      const RunRecord& rec = inst.stepper.record();
+      inst.trace->add_round(rec.actions.back(), rec.sent.back(),
+                            rec.delivered.back());
+    }
+    if (!finished) {
+      if (opt.snapshot_every > 0 && advanced &&
+          inst.stepper.time() % opt.snapshot_every == 0) {
+        inst.checkpoint = checkpoint_stepper(
+            inst.stepper,
+            inst.strategy ? inst.strategy->checkpoint_state() : std::string{});
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
       return false;
+    }
+
     result.latency_us[idx] =
         std::chrono::duration<double, std::micro>(Clock::now() - admitted)
             .count();
-    result.instances[idx].record = inst.stepper.take_record();
+    RunRecord record = inst.stepper.take_record();
+    if (inst.trace)
+      result.traces[idx] = inst.trace->finish(
+          build_certificate(record, static_cast<std::uint64_t>(idx)));
+    result.instances[idx].record = std::move(record);
     result.instances[idx].final_states = inst.stepper.take_states();
     pool.release(inst.slot);
     return true;
   };
   drive_round_sliced(instances.size(), workers, step_one);
 
+  result.snapshots_taken += snapshots.load();
+  result.crashes_injected = crashes.load();
   result.wall_seconds =
       std::chrono::duration<double>(Clock::now() - admitted).count();
 }
@@ -259,22 +436,18 @@ WorkloadResult<X> run_workload(const X& x, const P& act,
   StepperOptions sopt;
   sopt.max_rounds = opt.max_rounds;
 
-  struct Instance {
-    Stepper<X, P> stepper;
-    BusPool::SlotId slot;
-  };
-
   BusPool pool(specs.size());
-  std::vector<Instance> instances;
+  std::vector<detail::ManagedInstance<X, P>> instances;
   instances.reserve(specs.size());
   for (const InstanceSpec& spec : specs)
     instances.push_back({Stepper<X, P>(x, act, spec.alpha, spec.inits, t, sopt),
                          pool.acquire(spec.alpha)});
+  detail::prepare_durability(instances, opt, result);
 
   const int workers = resolve_workers(opt.workers, specs.size());
   result.workers = workers;
-  detail::drive_workload<X, P>(x, pool, instances, workers,
-                               /*sync_pattern=*/false, result);
+  detail::drive_workload<X, P>(x, act, t, pool, instances, workers,
+                               /*sync_pattern=*/false, opt, result);
   return result;
 }
 
@@ -299,13 +472,8 @@ WorkloadResult<X> run_adaptive_workload(const X& x, const P& act,
   StepperOptions sopt;
   sopt.max_rounds = opt.max_rounds;
 
-  struct Instance {
-    Stepper<X, P> stepper;
-    BusPool::SlotId slot;
-  };
-
   BusPool pool(specs.size());
-  std::vector<Instance> instances;
+  std::vector<detail::ManagedInstance<X, P>> instances;
   instances.reserve(specs.size());
   for (AdaptiveInstanceSpec& spec : specs) {
     EBA_REQUIRE(spec.strategy != nullptr, "instance without a strategy");
@@ -316,15 +484,16 @@ WorkloadResult<X> run_adaptive_workload(const X& x, const P& act,
                 "strategy base pattern outside its model/budget");
     instances.push_back(
         {Stepper<X, P>(x, act, base, spec.inits, t, sopt),
-         pool.acquire(std::move(base))});
+         pool.acquire(std::move(base)), spec.strategy.get()});
     instances.back().stepper.set_adversary_hook(
         make_strategy_hook(*spec.strategy, t));
   }
+  detail::prepare_durability(instances, opt, result);
 
   const int workers = resolve_workers(opt.workers, specs.size());
   result.workers = workers;
-  detail::drive_workload<X, P>(x, pool, instances, workers,
-                               /*sync_pattern=*/true, result);
+  detail::drive_workload<X, P>(x, act, t, pool, instances, workers,
+                               /*sync_pattern=*/true, opt, result);
   return result;
 }
 

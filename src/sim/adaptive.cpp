@@ -1,5 +1,7 @@
 #include "sim/adaptive.hpp"
 
+#include <sstream>
+
 #include "action/p_basic.hpp"
 #include "action/p_min.hpp"
 #include "action/p_opt.hpp"
@@ -119,6 +121,24 @@ class RandomBudget final : public AdversaryStrategy {
         if (model_ == FailureModel::general && rng_.chance(drop_prob_))
           alpha.drop_receive(obs.round, r, g);
       }
+  }
+
+  // The engine position is the whole mutable state (k_ is immutable after
+  // construction but is carried for a cross-check). std::mt19937_64's
+  // stream operators serialize the full 312-word state, so a restored
+  // strategy replays the exact post-checkpoint draws.
+  [[nodiscard]] std::string checkpoint_state() const override {
+    std::ostringstream os;
+    os << k_ << ' ' << rng_.engine();
+    return os.str();
+  }
+
+  void restore_state(const std::string& state) override {
+    std::istringstream is(state);
+    int k = -1;
+    is >> k >> rng_.engine();
+    EBA_REQUIRE(!is.fail() && k == k_,
+                "random_budget checkpoint does not match this strategy");
   }
 
  private:

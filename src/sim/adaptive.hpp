@@ -63,6 +63,16 @@ class AdversaryStrategy {
   [[nodiscard]] virtual FailurePattern base_pattern() = 0;
   /// Observes one staged round; may add drops at rounds >= obs.round.
   virtual void on_round(const StagedRound& obs, FailurePattern& alpha) = 0;
+
+  /// Snapshot of the strategy's mutable state (RNG position, chain
+  /// progress), opaque to callers. Restoring it must make the strategy
+  /// replay the exact drops it produced after the checkpoint was taken —
+  /// the crash/restore differential (tests/test_recovery.cpp) depends on
+  /// it. Stateless strategies return/accept the empty string.
+  [[nodiscard]] virtual std::string checkpoint_state() const { return {}; }
+  virtual void restore_state(const std::string& state) {
+    EBA_REQUIRE(state.empty(), "stateless strategy given a nonempty state");
+  }
 };
 
 std::unique_ptr<AdversaryStrategy> make_deafen_decider_strategy(

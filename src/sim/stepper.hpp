@@ -146,6 +146,20 @@ struct StepperOptions {
   bool stop_when_all_decided = true;  ///< stop early once every agent decided
 };
 
+/// A mid-run cut of one instance, sufficient to resume it exactly where it
+/// stopped: the completed-round count, every agent's state at that time, the
+/// record accumulated so far and the wire accounting. Produced/consumed by
+/// net/checkpoint.hpp; the decide bookkeeping (decided set, undecided
+/// counter) is recomputed from the record, not stored.
+template <ExchangeProtocol X>
+struct ResumePoint {
+  int time = 0;
+  std::vector<typename X::State> states;
+  RunRecord record;
+  std::size_t bits_sent = 0;
+  std::size_t messages_sent = 0;
+};
+
 template <ExchangeProtocol X, class P>
 class Stepper {
  public:
@@ -181,10 +195,65 @@ class Stepper {
     if (sink_) sink_->on_states(0, states_);
   }
 
+  /// Resumes an instance from a mid-run cut (see ResumePoint): the stepper
+  /// continues from `resume.time` exactly as if it had executed the recorded
+  /// rounds itself — the differential tests in tests/test_recovery.cpp pin
+  /// restored-and-continued runs record-for-record against uninterrupted
+  /// ones. The decide bookkeeping is rebuilt by scanning the record for
+  /// first decides, so a resume point cannot smuggle in inconsistent
+  /// counters.
+  Stepper(const X& x, const P& act, FailurePattern alpha,
+          ResumePoint<X>&& resume, int t, const StepperOptions& opt = {},
+          TraceSink<X>* sink = nullptr)
+      : x_(&x),
+        act_(&act),
+        alpha_(std::move(alpha)),
+        t_(t),
+        max_rounds_(opt.max_rounds > 0 ? opt.max_rounds : t + 4),
+        stop_when_all_decided_(opt.stop_when_all_decided),
+        sink_(sink),
+        n_(x.n()),
+        time_(resume.time),
+        start_time_(resume.time),
+        undecided_(x.n()),
+        decided_(static_cast<std::size_t>(x.n()), false),
+        states_(std::move(resume.states)),
+        record_(std::move(resume.record)),
+        bits_sent_(resume.bits_sent),
+        messages_sent_(resume.messages_sent) {
+    EBA_REQUIRE(alpha_.n() == n_, "pattern/exchange agent count mismatch");
+    EBA_REQUIRE(record_.n == n_ && record_.t == t_,
+                "resume record does not match the context");
+    EBA_REQUIRE(record_.rounds == time_ && time_ >= 0 && time_ <= max_rounds_,
+                "resume time does not match the recorded rounds");
+    EBA_REQUIRE(static_cast<int>(states_.size()) == n_,
+                "resume states must cover every agent");
+    EBA_REQUIRE(static_cast<int>(record_.inits.size()) == n_,
+                "resume record inits size mismatch");
+    for (int m = 0; m < time_; ++m)
+      for (AgentId i = 0; i < n_; ++i)
+        if (record_.actions[static_cast<std::size_t>(m)]
+                           [static_cast<std::size_t>(i)]
+                               .is_decide() &&
+            !decided_[static_cast<std::size_t>(i)]) {
+          decided_[static_cast<std::size_t>(i)] = true;
+          decided_set_.insert(i);
+          --undecided_;
+        }
+    if (sink_) sink_->on_states(time_, states_);
+  }
+
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int t() const { return t_; }
   /// Rounds completed so far (= the current time).
   [[nodiscard]] int time() const { return time_; }
+  [[nodiscard]] int max_rounds() const { return max_rounds_; }
+  [[nodiscard]] bool stop_when_all_decided() const {
+    return stop_when_all_decided_;
+  }
+  /// The time this stepper started at: 0 for a fresh instance, the resume
+  /// point's time for a restored one.
+  [[nodiscard]] int start_time() const { return start_time_; }
   /// Running count of agents that have not yet decided; maintained
   /// incrementally instead of rescanning all n agents every round.
   [[nodiscard]] int undecided() const { return undecided_; }
@@ -194,13 +263,19 @@ class Stepper {
   [[nodiscard]] const FailurePattern& pattern() const { return alpha_; }
 
   /// Installs an online adversary (see AdversaryHook above). Must be set
-  /// before the first round; replacing it mid-run would make the realized
-  /// pattern unattributable to one strategy.
+  /// before the stepper runs its first round — time 0 for a fresh instance,
+  /// the resume time for a restored one (crash recovery reinstalls the hook
+  /// from the rolled-back strategy; net/workload.hpp) — because replacing it
+  /// mid-run would make the realized pattern unattributable to one strategy.
   void set_adversary_hook(AdversaryHook hook) {
-    EBA_REQUIRE(time_ == 0 && !in_round_,
+    EBA_REQUIRE(time_ == start_time_ && !in_round_,
                 "adversary hook must be installed before the first round");
     adversary_ = std::move(hook);
   }
+
+  /// True between begin_round() and finish_round(). Checkpoints may only be
+  /// cut at round boundaries (net/checkpoint.hpp asserts this).
+  [[nodiscard]] bool in_round() const { return in_round_; }
 
   /// True when the instance will run no further round: the horizon is
   /// exhausted or (under early stopping) every agent has decided.
@@ -417,6 +492,7 @@ class Stepper {
   TraceSink<X>* sink_;
   int n_;
   int time_ = 0;
+  int start_time_ = 0;  ///< construction time (nonzero for restored instances)
   int undecided_;
   bool in_round_ = false;
   AdversaryHook adversary_;

@@ -29,6 +29,7 @@ class Rng {
   [[nodiscard]] std::uint64_t raw() { return engine_(); }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+  [[nodiscard]] const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -50,13 +50,159 @@ TEST(SerializeTest, SharedGraphMessageRoundTrip) {
 TEST(SerializeTest, TruncatedPayloadThrows) {
   Bytes b = to_bytes(std::make_shared<const CommGraph>(CommGraph(3, 0, Value::one)));
   b.pop_back();
-  EXPECT_THROW((void)from_bytes<std::shared_ptr<const CommGraph>>(b), std::logic_error);
+  try {
+    (void)from_bytes<std::shared_ptr<const CommGraph>>(b);
+    FAIL() << "truncated graph payload accepted";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeError::Kind::truncated);
+  }
 }
 
 TEST(SerializeTest, TrailingBytesThrow) {
   Bytes b = to_bytes(Value::one);
   b.push_back(0);
-  EXPECT_THROW((void)from_bytes<Value>(b), std::logic_error);
+  try {
+    (void)from_bytes<Value>(b);
+    FAIL() << "over-length payload accepted";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeError::Kind::trailing);
+  }
+}
+
+// -- Decoder fuzz: untrusted bytes land in DecodeError, never UB -------------
+
+/// Decoding any mutation either succeeds (a mutated-but-wellformed buffer)
+/// or throws DecodeError. An EBA_REQUIRE (std::logic_error) firing would
+/// mean a decoder treated attacker bytes as a caller contract.
+template <class Decode>
+void fuzz_decoder(const Bytes& wellformed, Decode&& decode,
+                  const std::string& what) {
+  for (std::size_t cut = 0; cut < wellformed.size(); ++cut) {
+    Bytes buf(wellformed.begin(),
+              wellformed.begin() + static_cast<std::ptrdiff_t>(cut));
+    try {
+      decode(buf);
+    } catch (const DecodeError&) {
+    } catch (const std::exception& e) {
+      FAIL() << what << ": truncation at " << cut
+             << " escaped as non-DecodeError: " << e.what();
+    }
+  }
+  for (std::size_t at = 0; at < wellformed.size(); ++at) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes buf = wellformed;
+      buf[at] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        decode(buf);
+      } catch (const DecodeError&) {
+      } catch (const std::exception& e) {
+        FAIL() << what << ": bit " << bit << " flip at byte " << at
+               << " escaped as non-DecodeError: " << e.what();
+      }
+    }
+  }
+  // Over-length and junk prefixes.
+  Bytes longer = wellformed;
+  longer.push_back(0xEE);
+  try {
+    decode(longer);
+  } catch (const DecodeError&) {
+  } catch (const std::exception& e) {
+    FAIL() << what << ": over-length escaped as non-DecodeError: " << e.what();
+  }
+}
+
+TEST(SerializeFuzzTest, GraphDecoderNeverEscapes) {
+  CommGraph g(5, 3, Value::one);
+  g.advance_round(3, AgentSet{0, 2, 4});
+  g.advance_round(3, AgentSet{1, 2});
+  g.set_pref(2, PrefLabel::zero);
+  Writer w;
+  encode_graph(w, g);
+  fuzz_decoder(
+      w.take(),
+      [](const Bytes& b) {
+        Reader r(b);
+        (void)decode_graph(r);
+        if (!r.exhausted())
+          throw DecodeError(DecodeError::Kind::trailing, "trailing");
+      },
+      "graph");
+}
+
+TEST(SerializeFuzzTest, PatternAndRecordDecodersNeverEscape) {
+  Rng rng(71);
+  const FailurePattern alpha = sample_go_adversary(5, 2, 4, 0.4, 0.3, rng);
+  Writer wp;
+  encode_pattern(wp, alpha);
+  const Bytes pattern_bytes = wp.take();
+  {
+    Reader r(pattern_bytes);
+    EXPECT_TRUE(decode_pattern(r) == alpha) << "pattern round-trip";
+  }
+  fuzz_decoder(
+      pattern_bytes,
+      [](const Bytes& b) {
+        Reader r(b);
+        (void)decode_pattern(r);
+      },
+      "pattern");
+
+  const auto run = simulate(MinExchange(5), PMin(5, 2), alpha,
+                            sample_preferences(5, rng), 2);
+  Writer wr;
+  encode_record(wr, run.record);
+  const Bytes record_bytes = wr.take();
+  {
+    Reader r(record_bytes);
+    EXPECT_EQ(decode_record(r), run.record) << "record round-trip";
+  }
+  fuzz_decoder(
+      record_bytes,
+      [](const Bytes& b) {
+        Reader r(b);
+        (void)decode_record(r);
+      },
+      "record");
+}
+
+TEST(SerializeFuzzTest, StateDecodersNeverEscape) {
+  const auto run = simulate(FipExchange(4), POpt(4, 2),
+                            FailurePattern::failure_free(4),
+                            std::vector<Value>(4, Value::one), 2);
+  Writer w;
+  encode_state(w, run.states.back()[1]);
+  fuzz_decoder(
+      w.take(),
+      [&run](const Bytes& b) {
+        Reader r(b);
+        FipState s = run.states.back()[1];
+        decode_state(r, s);
+      },
+      "fip-state");
+}
+
+TEST(SerializeFuzzTest, FrameLengthCannotOverread) {
+  // A frame whose length field promises more than the buffer holds must be
+  // a truncation error, not a read past the end.
+  Bytes out;
+  write_frame(out, 1, Bytes{1, 2, 3});
+  Bytes huge = out;
+  huge[1] = 0xFF;
+  huge[2] = 0xFF;  // length ~64K, buffer ~12 bytes
+  std::size_t pos = 0;
+  try {
+    (void)read_frame(huge, pos);
+    FAIL() << "oversized frame length accepted";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeError::Kind::truncated);
+  }
+  // The pristine frame round-trips.
+  pos = 0;
+  const Frame f = read_frame(out, pos);
+  EXPECT_EQ(f.kind, 1);
+  EXPECT_EQ(f.payload, (Bytes{1, 2, 3}));
+  EXPECT_EQ(pos, out.size());
 }
 
 TEST(RoundBusTest, BarrierDeliversAndFilters) {

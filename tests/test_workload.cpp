@@ -166,6 +166,101 @@ TEST(StepperTest, TraceSinkSeesEveryTime) {
   EXPECT_EQ(sink.states().back(), stepper.states());
 }
 
+/// A sink that records every (time, states) callback verbatim, so tests can
+/// pin WHEN the stepper publishes, not just what ended up materialized.
+template <class X>
+class RecordingSink final : public TraceSink<X> {
+ public:
+  void on_states(int time,
+                 std::span<const typename X::State> states) override {
+    times.push_back(time);
+    snapshots.emplace_back(states.begin(), states.end());
+  }
+  std::vector<int> times;
+  std::vector<std::vector<typename X::State>> snapshots;
+};
+
+/// The sink contract: exactly one callback per round boundary — time 0 at
+/// construction, then time m after round m completes — and each snapshot
+/// equal to the reference simulator's states[m]. Checked for both halting
+/// modes the driver exercises: early decide and max_rounds truncation.
+template <class X, class P>
+void expect_sink_pins_reference(const X& x, const P& p,
+                                const FailurePattern& alpha,
+                                const std::vector<Value>& inits, int t,
+                                const SimulateOptions& opt,
+                                const std::string& what) {
+  const auto want = testing::reference_simulate(x, p, alpha, inits, t, opt);
+
+  RecordingSink<X> sink;
+  StepperOptions sopt;
+  sopt.max_rounds = opt.max_rounds;
+  sopt.stop_when_all_decided = opt.stop_when_all_decided;
+  Stepper<X, P> stepper(x, p, alpha, inits, t, sopt, &sink);
+  while (stepper.step()) {
+  }
+
+  ASSERT_EQ(sink.times.size(),
+            static_cast<std::size_t>(want.record.rounds) + 1)
+      << what << ": one callback per time 0..rounds";
+  for (std::size_t m = 0; m < sink.times.size(); ++m)
+    EXPECT_EQ(sink.times[m], static_cast<int>(m))
+        << what << ": boundary callbacks in round order";
+  ASSERT_EQ(sink.snapshots.size(), want.states.size()) << what;
+  for (std::size_t m = 0; m < want.states.size(); ++m)
+    EXPECT_EQ(sink.snapshots[m], want.states[m])
+        << what << " states at time " << m;
+
+  // MaterializingSink is the same stream, stored: rerun and compare.
+  MaterializingSink<X> mat;
+  Stepper<X, P> again(x, p, alpha, inits, t, sopt, &mat);
+  while (again.step()) {
+  }
+  EXPECT_EQ(mat.states(), want.states) << what << " [materializing]";
+}
+
+TEST(StepperTest, SinkBoundariesUnderEarlyDecideMatchReference) {
+  // Failure-free with one zero preference: P_min decides early and the
+  // stepper halts before the horizon. The sink must stop with it — no
+  // phantom boundary for rounds that never ran.
+  const int n = 5;
+  const int t = 2;
+  std::vector<Value> prefs(static_cast<std::size_t>(n), Value::one);
+  prefs[1] = Value::zero;
+  expect_sink_pins_reference(MinExchange(n), PMin(n, t),
+                             FailurePattern::failure_free(n), prefs, t,
+                             SimulateOptions{}, "sink early-decide p_min");
+
+  Rng rng(404);
+  for (int k = 0; k < 3; ++k) {
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    expect_sink_pins_reference(FipExchange(n), POpt(n, t), alpha,
+                               sample_preferences(n, rng), t,
+                               SimulateOptions{},
+                               "sink early-decide p_opt iter=" +
+                                   std::to_string(k));
+  }
+}
+
+TEST(StepperTest, SinkBoundariesUnderMaxRoundsTruncationMatchReference) {
+  const int n = 5;
+  const int t = 2;
+  Rng rng(405);
+  for (int max_rounds : {1, 2}) {
+    SimulateOptions opt;
+    opt.max_rounds = max_rounds;
+    opt.stop_when_all_decided = false;
+    const auto alpha = sample_adversary(n, t, t + 2, 0.4, rng);
+    const auto prefs = sample_preferences(n, rng);
+    expect_sink_pins_reference(
+        MinExchange(n), PMin(n, t), alpha, prefs, t, opt,
+        "sink truncated p_min R=" + std::to_string(max_rounds));
+    expect_sink_pins_reference(
+        FipExchange(n), POpt(n, t), alpha, prefs, t, opt,
+        "sink truncated p_opt R=" + std::to_string(max_rounds));
+  }
+}
+
 TEST(BusPoolTest, AcquireReleaseAndExhaustion) {
   BusPool pool(2);
   EXPECT_EQ(pool.capacity(), 2u);
