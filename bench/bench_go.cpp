@@ -2,11 +2,12 @@
 //
 // Three GO(t) workload points for P_opt_go (action/p_opt_go.hpp):
 //
-//   * headline — the exhaustive canonical-orbit spec sweep at n = 4, t = 2
-//     (drops on both planes in round 1): every orbit representative × every
-//     preference vector is simulated and checked against the EBA spec, with
-//     the orbit multiplicities certified to cover the whole GO space. This
-//     is the "model-checking throughput" number: it exercises the clause
+//   * headline — the exhaustive spec sweep at n = 4, t = 2 (drops on both
+//     planes in round 1): one representative world per (renaming orbit ×
+//     stabilizer preference class) is simulated and checked against the EBA
+//     spec, with the world weights certified to cover the whole
+//     (GO pattern × preference) space (failure/orbit_sweep.hpp). This is
+//     the "model-checking throughput" number: it exercises the clause
 //     (vertex-cover) fault machinery, the GO chain test and the
 //     common-knowledge test on every shape of 2-fault adversary.
 //   * scale — decided-runs/sec over sampled GO adversaries at n = 16,
@@ -21,6 +22,7 @@
 // BENCH_go.json by ci/run_benches.cmake); human-readable table on stderr.
 // Exit code is nonzero when any self-check fails; ci/check_bench.py
 // additionally gates the headline wall time against the committed baseline.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <sstream>
@@ -31,6 +33,7 @@
 #include "core/spec.hpp"
 #include "failure/canonical.hpp"
 #include "failure/generators.hpp"
+#include "failure/orbit_sweep.hpp"
 #include "sim/drivers.hpp"
 #include "stats/table.hpp"
 
@@ -52,21 +55,25 @@ struct SweepResult {
   bool spec_ok = true;
 };
 
+// Representative-world spec sweep: one run per (orbit × preference class),
+// weights certified to cover every (pattern, preference vector) world.
 SweepResult canonical_spec_sweep(int n, int t, int rounds) {
   SweepResult r;
   const EnumerationConfig cfg = go_config(n, t, rounds);
-  r.space = count_go_adversaries(cfg);
-  const auto prefs = all_preference_vectors(n);
+  r.space = count_go_adversaries(cfg) * (std::uint64_t{1} << n);
   const auto go = make_go_driver(n, t);
   const auto start = Clock::now();
-  r.orbits = enumerate_canonical_adversaries(
-      cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
-        r.covered += multiplicity;
-        for (const auto& p : prefs) {
-          const RunSummary s = go(alpha, p);
-          ++r.runs;
-          if (!check_eba(s.record).ok_strict()) r.spec_ok = false;
-        }
+  r.covered = for_each_representative_world(
+      cfg, [&](const FailurePattern& alpha, const std::vector<Value>& p,
+               std::uint64_t) {
+        // Each orbit's first preference class is the all-zeros vector
+        // (class representatives are lex-min), marking an orbit start.
+        if (std::all_of(p.begin(), p.end(),
+                        [](Value v) { return v == Value::zero; }))
+          ++r.orbits;
+        const RunSummary s = go(alpha, p);
+        ++r.runs;
+        if (!check_eba(s.record).ok_strict()) r.spec_ok = false;
         return r.spec_ok;
       });
   r.seconds = seconds_since(start);
@@ -151,11 +158,11 @@ int run() {
   };
   row("sweep n=4 t=2 r=1",
       std::to_string(headline.orbits) + " orbits / " +
-          std::to_string(headline.space) + " patterns",
+          std::to_string(headline.space) + " worlds",
       headline.runs, headline.seconds, headline.spec_ok);
   row("sweep n=5 t=1 r=1",
       std::to_string(n5.orbits) + " orbits / " + std::to_string(n5.space) +
-          " patterns",
+          " worlds",
       n5.runs, n5.seconds, n5.spec_ok);
   row("scale n=16 t=2",
       std::to_string(static_cast<std::uint64_t>(scale.runs_per_sec)) +

@@ -9,7 +9,9 @@
 // γ_min(n=4, t=1, drops ≤ 2 rounds) enumeration (4112 worlds) and its
 // speedup is gated (>= 5x here and in ci/check_bench.py). Scale points the
 // baseline cannot reach in bench time (γ_fip n=4 full enumeration, Thm 6.5
-// at n=5) run optimized-only and are checked against P_opt / P_min instead.
+// at n=5, and γ_fip n=5 via orbit-level run reuse —
+// kripke/canonical_worlds.hpp) run optimized-only and are checked against
+// P_opt / P_min instead.
 //
 // Output: machine-readable JSON on stdout (written verbatim to
 // BENCH_synthesis.json by ci/run_benches.cmake); human table on stderr.
@@ -24,6 +26,7 @@
 #include "action/p_min.hpp"
 #include "action/p_opt.hpp"
 #include "failure/generators.hpp"
+#include "kripke/canonical_worlds.hpp"
 #include "kripke/synthesis.hpp"
 #include "stats/table.hpp"
 
@@ -181,6 +184,47 @@ int run() {
       const auto run = simulate(FipExchange(4), POpt(4, 1), worlds[w].first,
                                 worlds[w].second, 1, sopt);
       for (AgentId i = 0; i < 4; ++i) {
+        const auto expected = run.record.decision(i);
+        const auto& got = result.decisions[w][static_cast<std::size_t>(i)];
+        if (got.has_value() != expected.has_value() ||
+            (expected && (got->value != expected->value ||
+                          got->round != expected->round)))
+          p.match = false;
+      }
+    }
+    points.push_back(p);
+  }
+  {
+    // gamma_fip(5): reachable in bench time only with orbit-level run
+    // reuse — knowledge tests run once per (orbit × preference class)
+    // representative world and the rest are relabeled
+    // (kripke/canonical_worlds.hpp). Decisions are checked against a
+    // direct P_opt simulation of every world.
+    PointResult p;
+    p.label = "p1/gamma_fip n=5 orbit";
+    p.horizon = 4;
+    const CanonicalContext ctx =
+        canonical_context_worlds({.n = 5, .t = 1, .rounds = 2});
+    p.worlds = ctx.worlds.size();
+    SynthesisResult<FipExchange> result;
+    for (int r = 0; r < 2; ++r) {
+      KbpSynthesizer<FipExchange> synth(FipExchange(5), 1, KbpProgram::p1,
+                                        kOptimized);
+      const auto start = Clock::now();
+      result = synth.run(ctx.worlds, 4, ctx.orbits);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (r == 0 || s < p.optimized_seconds) p.optimized_seconds = s;
+    }
+    p.stats = result.stats;
+    for (std::size_t w = 0; w < ctx.worlds.size() && p.match; ++w) {
+      SimulateOptions sopt;
+      sopt.max_rounds = 4;
+      sopt.stop_when_all_decided = false;
+      const auto run = simulate(FipExchange(5), POpt(5, 1),
+                                ctx.worlds[w].first, ctx.worlds[w].second, 1,
+                                sopt);
+      for (AgentId i = 0; i < 5; ++i) {
         const auto expected = run.record.decision(i);
         const auto& got = result.decisions[w][static_cast<std::size_t>(i)];
         if (got.has_value() != expected.has_value() ||

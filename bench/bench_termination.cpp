@@ -10,20 +10,20 @@
 // larger shapes, alongside the bound. A "tight" column shows whether some
 // run actually reaches the bound (the hidden-chain adversary does).
 //
-// The exhaustive rows enumerate the adversary space ONCE per shape as
-// canonical renaming orbits (failure/canonical.hpp) and reuse that one
-// materialized pass for all three protocols: decision rounds and
-// spec-satisfaction are relabeling-invariant and every preference vector is
-// driven per orbit, so one representative per orbit covers the space — the
-// "orbits" column is what was visited, "covered" the unreduced pattern
-// count the multiplicities certify (= count_adversaries), which is also
-// what unlocks the n = 5 exhaustive row.
+// The exhaustive rows sweep one representative world per (renaming orbit ×
+// stabilizer preference class) (failure/orbit_sweep.hpp) and reuse that one
+// pass for all three protocols: decision rounds and spec-satisfaction are
+// relabeling-invariant, so representative worlds cover the whole
+// (pattern × preference) space — "worlds" is what was driven, "covered" the
+// unreduced world count the weights certify (= count_adversaries · 2^n),
+// which is also what unlocks the n = 6 exhaustive row.
 #include <iostream>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "failure/canonical.hpp"
+#include "failure/orbit_sweep.hpp"
 #include "stats/rng.hpp"
 
 namespace eba::bench {
@@ -45,41 +45,33 @@ void run() {
          "Claim: all agents decide within t+1 rounds of message exchange; "
          "Validity holds even for faulty agents.");
 
-  Table table({"n", "t", "coverage", "runs", "orbits", "covered",
+  Table table({"n", "t", "coverage", "worlds", "covered",
                "P_min worst", "P_basic worst", "P_fip worst", "bound t+2",
                "spec ok"});
   Rng rng(6171);
 
-  // Exhaustive small shapes: one canonical enumeration pass per shape,
+  // Exhaustive small shapes: one representative-world sweep per shape,
   // reused across all three protocols.
   for (const auto& [n, t] : std::vector<std::pair<int, int>>{
-           {3, 1}, {4, 1}, {4, 2}, {5, 1}}) {
+           {3, 1}, {4, 1}, {4, 2}, {5, 1}, {6, 1}}) {
     const EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
-    std::vector<std::pair<FailurePattern, std::uint64_t>> orbits;
-    enumerate_canonical_adversaries(
-        cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
-          orbits.emplace_back(alpha, multiplicity);
-          return true;
-        });
-    std::uint64_t covered = 0;
-    for (const auto& [alpha, multiplicity] : orbits) covered += multiplicity;
-    EBA_REQUIRE(covered == count_adversaries(cfg),
-                "orbit multiplicities must cover the unreduced space");
-
     const auto drivers = paper_drivers(n, t);
     std::vector<Worst> worst(3);
-    std::uint64_t runs = 0;
-    const auto prefs = all_preference_vectors(n);
-    for (const auto& [alpha, multiplicity] : orbits) {
-      for (const auto& p : prefs) {
-        for (std::size_t d = 0; d < drivers.size(); ++d)
-          observe(drivers[d].run(alpha, p), worst[d]);
-        ++runs;
-      }
-    }
+    std::uint64_t worlds = 0;
+    const std::uint64_t covered = for_each_representative_world(
+        cfg, [&](const FailurePattern& alpha, const std::vector<Value>& p,
+                 std::uint64_t) {
+          for (std::size_t d = 0; d < drivers.size(); ++d)
+            observe(drivers[d].run(alpha, p), worst[d]);
+          ++worlds;
+          return true;
+        });
+    EBA_REQUIRE(covered ==
+                    count_adversaries(cfg) * (std::uint64_t{1} << cfg.n),
+                "representative weights must cover the unreduced space");
     const bool ok =
         worst[0].spec_ok && worst[1].spec_ok && worst[2].spec_ok;
-    table.row(n, t, "exhaustive", runs, orbits.size(), covered,
+    table.row(n, t, "exhaustive", worlds, covered,
               worst[0].round, worst[1].round, worst[2].round, t + 2,
               ok ? "yes" : "VIOLATED");
   }
@@ -102,7 +94,7 @@ void run() {
     }
     const bool ok =
         worst[0].spec_ok && worst[1].spec_ok && worst[2].spec_ok;
-    table.row(n, t, "sampled", samples, "-", "-", worst[0].round,
+    table.row(n, t, "sampled", samples, "-", worst[0].round,
               worst[1].round, worst[2].round, t + 2, ok ? "yes" : "VIOLATED");
   }
   table.print(std::cout);

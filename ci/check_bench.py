@@ -1,54 +1,47 @@
 #!/usr/bin/env python3
-"""Perf regression gate for the P_opt hot-path, throughput and synthesis
-benchmarks.
+"""Perf regression gate for the committed BENCH_*.json baselines.
 
 Compares a freshly produced google-benchmark JSON report (bench_perf →
 BENCH_perf.json) against the committed baseline and fails if any gated
 benchmark regressed by more than the allowed factor (default 2x, per the
-ROADMAP "CI perf regression gate" item). When throughput reports are also
-supplied (bench_throughput → BENCH_throughput.json), the gate additionally
-fails if the headline aggregate decided-instances/sec fell below
-baseline/max-ratio, if the worker pool lost its >=5x edge over the
-sequential thread-per-agent cluster, or if fewer concurrent instances
-completed than the baseline admitted. When synthesis reports are supplied
-(bench_synthesis → BENCH_synthesis.json), it fails if the optimized
-synthesizer's headline wall time regressed >max-ratio against the committed
-baseline, if its same-machine speedup over the pre-optimization synthesizer
-fell below the minimum (5x), or if any synthesis point's decisions diverged
-from its reference. When general-omissions reports are supplied (bench_go →
-BENCH_go.json), it fails if the headline canonical-orbit sweep regressed
->max-ratio in wall time, if any sweep lost spec coverage or spec
-correctness, or if the Example-7.1 GO shortcut rows stopped holding. When
-adversary reports are supplied (bench_adversary → BENCH_adversary.json), it
-fails if any worst-case search row stops finding the analytic worst
-decision round, if the Example-7.1 anchor or the adaptive-vs-static
-comparison breaks, if any spec-oracle fuzz row reports a violation, or if
-the headline search regressed >max-ratio in wall time. The throughput check
-also gates worker scaling: the best multi-worker row must stay >= 0.5x the
-workers:1 row (loose tolerance for single-core runners). When recovery
-reports are supplied (bench_recovery → BENCH_recovery.json), it fails if
-any streamed trace stopped verifying offline, if snapshotting or crash
-injection changed a run record, if any tamper mutation was accepted, or if
-replay-verification throughput fell below baseline/max-ratio.
+ROADMAP "CI perf regression gate" item). Beyond bench_perf, each native-JSON
+bench is a named series in the SERIES registry below; passing its
+--baseline-<name>/--fresh-<name> pair runs the matching checker:
+
+  throughput — headline decided-instances/sec, the >=5x worker-pool edge
+      over the sequential thread-per-agent cluster, the 1000-instance
+      completion floor, and worker scaling.
+  synthesis  — headline optimized wall time, the >=5x same-machine speedup
+      over the pre-optimization synthesizer, and every point's decisions
+      matching its reference.
+  go         — headline representative-world sweep wall time, spec coverage
+      and correctness of every sweep, and the Example-7.1 GO shortcut rows.
+  adversary  — worst-case search rows finding the analytic worst rounds,
+      the Example-7.1 anchor, adaptive-vs-static, violation-free fuzz rows,
+      and headline search wall time.
+  recovery   — replay-verification throughput, traces verifying offline,
+      snapshot/crash runs matching uninterrupted records, and the tamper
+      sweep rejecting every mutation.
+  scale      — orbit-level run reuse (bench_scale): headline relabel-path
+      wall time against the committed baseline, the >=5x same-machine
+      speedup of relabeling over re-simulation, every reuse row pinned
+      bit-identical to re-simulation, and every representative-world spec
+      sweep covering its unreduced space violation-free.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
 so the gate is meant to catch algorithmic regressions (a hot path sliding
 back toward the pre-packed implementation), not few-percent noise. The
-speedup check has no such caveat — it is a same-machine ratio. Refresh
+speedup checks have no such caveat — they are same-machine ratios. Refresh
 the committed baselines (cmake --build build --target bench_all) whenever a
 PR intentionally changes these numbers.
 
 Usage:
   ci/check_bench.py --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json \
-      [--baseline-throughput BENCH_throughput.json] \
-      [--fresh-throughput fresh/BENCH_throughput.json] \
-      [--baseline-synthesis BENCH_synthesis.json] \
-      [--fresh-synthesis fresh/BENCH_synthesis.json] \
-      [--baseline-go BENCH_go.json] [--fresh-go fresh/BENCH_go.json] \
-      [--baseline-recovery BENCH_recovery.json] \
-      [--fresh-recovery fresh/BENCH_recovery.json] \
-      [--max-ratio 2.0] [--min-speedup 5.0] [--min-synthesis-speedup 5.0]
+      [--baseline-<series> BENCH_<series>.json \
+       --fresh-<series> fresh/BENCH_<series>.json]... \
+      [--max-ratio 2.0] [--min-speedup 5.0] [--min-synthesis-speedup 5.0] \
+      [--min-scale-speedup 5.0]
 """
 
 import argparse
@@ -77,35 +70,41 @@ GATED = [
 ]
 
 
-def load_times(path):
-    with open(path) as fh:
-        report = json.load(fh)
-    times = {}
-    for bench in report.get("benchmarks", []):
-        if bench.get("run_type", "iteration") != "iteration":
-            continue
-        times[bench["name"]] = (float(bench["cpu_time"]), bench["time_unit"])
-    return times
-
-
-def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
-                     failures):
-    """Gates the headline decided-instances/sec of BENCH_throughput.json."""
+def load_pair(baseline_path, fresh_path):
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     with open(fresh_path) as fh:
         fresh = json.load(fh)
+    return baseline, fresh
 
-    base_dps = float(baseline["headline"]["decided_per_sec"])
-    fresh_dps = float(fresh["headline"]["decided_per_sec"])
-    ratio = base_dps / fresh_dps if fresh_dps > 0 else float("inf")
+
+def gate_headline_ratio(label, base_value, fresh_value, max_ratio, failures,
+                        unit="s", lower_is_better=True):
+    """Prints one baseline/fresh/ratio line and appends a failure when the
+    fresh value regressed by more than max_ratio."""
+    if lower_is_better:
+        ratio = fresh_value / base_value if base_value > 0 else float("inf")
+    else:
+        ratio = base_value / fresh_value if fresh_value > 0 else float("inf")
     flag = " <-- REGRESSION" if ratio > max_ratio else ""
-    print(f"{'throughput headline':<24} {base_dps:>10.0f}/s {fresh_dps:>10.0f}/s "
+    print(f"{label:<24} {base_value:>11.4f}{unit} {fresh_value:>11.4f}{unit} "
           f"{ratio:>7.2f}x{flag}")
     if ratio > max_ratio:
         failures.append(
-            f"throughput headline: {fresh_dps:.0f} decided/s vs baseline "
-            f"{base_dps:.0f} ({ratio:.2f}x slower > {max_ratio}x)")
+            f"{label}: {fresh_value:.4f}{unit} vs baseline "
+            f"{base_value:.4f}{unit} ({ratio:.2f}x "
+            f"{'slower' if lower_is_better else 'worse'} > {max_ratio}x)")
+
+
+def check_throughput(baseline_path, fresh_path, args, failures):
+    """Gates the headline decided-instances/sec of BENCH_throughput.json."""
+    baseline, fresh = load_pair(baseline_path, fresh_path)
+
+    base_dps = float(baseline["headline"]["decided_per_sec"])
+    fresh_dps = float(fresh["headline"]["decided_per_sec"])
+    gate_headline_ratio("throughput headline", base_dps, fresh_dps,
+                        args.max_ratio, failures, unit="/s",
+                        lower_is_better=False)
 
     # Same acceptance floor as bench_throughput's own exit check: at least
     # 1000 concurrent instances must complete (the fresh report's admitted
@@ -119,12 +118,12 @@ def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
             f"instances completed (minimum 1000)")
 
     speedup = float(fresh["speedup_vs_thread_per_agent"])
-    print(f"{'pool vs thread/agent':<24} {'(min ' + str(min_speedup) + 'x)':>12} "
-          f"{speedup:>10.2f}x")
-    if speedup < min_speedup:
+    print(f"{'pool vs thread/agent':<24} "
+          f"{'(min ' + str(args.min_speedup) + 'x)':>12} {speedup:>10.2f}x")
+    if speedup < args.min_speedup:
         failures.append(
             f"worker pool only {speedup:.2f}x the sequential thread-per-agent "
-            f"cluster (minimum {min_speedup}x)")
+            f"cluster (minimum {args.min_speedup}x)")
 
     # Worker-scaling gate (same-machine ratio, like the speedup check): the
     # best multi-worker row must not fall below half the workers:1 row. The
@@ -153,32 +152,23 @@ def check_throughput(baseline_path, fresh_path, max_ratio, min_speedup,
         failures.append("fresh throughput report has no worker_scaling rows")
 
 
-def check_synthesis(baseline_path, fresh_path, max_ratio, min_speedup,
-                    failures):
+def check_synthesis(baseline_path, fresh_path, args, failures):
     """Gates the headline of BENCH_synthesis.json."""
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    with open(fresh_path) as fh:
-        fresh = json.load(fh)
+    baseline, fresh = load_pair(baseline_path, fresh_path)
+    min_speedup = args.min_synthesis_speedup
 
-    base_s = float(baseline["headline"]["optimized_seconds"])
-    fresh_s = float(fresh["headline"]["optimized_seconds"])
-    ratio = fresh_s / base_s if base_s > 0 else float("inf")
-    flag = " <-- REGRESSION" if ratio > max_ratio else ""
-    print(f"{'synthesis headline':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
-          f"{ratio:>7.2f}x{flag}")
-    if ratio > max_ratio:
-        failures.append(
-            f"synthesis headline: {fresh_s:.4f}s vs baseline {base_s:.4f}s "
-            f"({ratio:.2f}x slower > {max_ratio}x)")
+    gate_headline_ratio("synthesis headline",
+                        float(baseline["headline"]["optimized_seconds"]),
+                        float(fresh["headline"]["optimized_seconds"]),
+                        args.max_ratio, failures)
 
     # Same-machine ratio, immune to runner speed: the optimized synthesizer
     # must stay >= min_speedup over the options-off (pre-PR) synthesizer on
     # the n=4 full-enumeration config.
     speedup = fresh["headline"]["speedup"]
     speedup_cell = f"{float(speedup):.2f}x" if speedup is not None else "null"
-    print(f"{'synthesis vs pre-PR':<24} {'(min ' + str(min_speedup) + 'x)':>12} "
-          f"{speedup_cell:>11}")
+    print(f"{'synthesis vs pre-PR':<24} "
+          f"{'(min ' + str(min_speedup) + 'x)':>12} {speedup_cell:>11}")
     if speedup is None or float(speedup) < min_speedup:
         failures.append(
             f"optimized synthesizer only {speedup}x the pre-optimization "
@@ -191,24 +181,15 @@ def check_synthesis(baseline_path, fresh_path, max_ratio, min_speedup,
                 f"from the reference protocol")
 
 
-def check_go(baseline_path, fresh_path, max_ratio, failures):
+def check_go(baseline_path, fresh_path, args, failures):
     """Gates BENCH_go.json: headline sweep wall time, spec coverage, and the
     Example-7.1 GO shortcut rows."""
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    with open(fresh_path) as fh:
-        fresh = json.load(fh)
+    baseline, fresh = load_pair(baseline_path, fresh_path)
 
-    base_s = float(baseline["headline"]["seconds"])
-    fresh_s = float(fresh["headline"]["seconds"])
-    ratio = fresh_s / base_s if base_s > 0 else float("inf")
-    flag = " <-- REGRESSION" if ratio > max_ratio else ""
-    print(f"{'go headline sweep':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
-          f"{ratio:>7.2f}x{flag}")
-    if ratio > max_ratio:
-        failures.append(
-            f"go headline sweep: {fresh_s:.4f}s vs baseline {base_s:.4f}s "
-            f"({ratio:.2f}x slower > {max_ratio}x)")
+    gate_headline_ratio("go headline sweep",
+                        float(baseline["headline"]["seconds"]),
+                        float(fresh["headline"]["seconds"]),
+                        args.max_ratio, failures)
 
     for name in ("headline", "sweep_n5"):
         sweep = fresh.get(name, {})
@@ -216,8 +197,8 @@ def check_go(baseline_path, fresh_path, max_ratio, failures):
             failures.append(f"go {name}: EBA spec violated on a GO orbit")
         if sweep.get("covered") != sweep.get("space"):
             failures.append(
-                f"go {name}: orbit multiplicities cover "
-                f"{sweep.get('covered')} of {sweep.get('space')} patterns")
+                f"go {name}: representative weights cover "
+                f"{sweep.get('covered')} of {sweep.get('space')} worlds")
     if not fresh.get("scale", {}).get("spec_ok", False):
         failures.append("go scale point: EBA spec violated on a sampled run")
     for name in ("example71_go", "example71_go_boundary"):
@@ -225,27 +206,18 @@ def check_go(baseline_path, fresh_path, max_ratio, failures):
             failures.append(f"go {name}: expected decision rounds not met")
 
 
-def check_adversary(baseline_path, fresh_path, max_ratio, failures):
+def check_adversary(baseline_path, fresh_path, args, failures):
     """Gates BENCH_adversary.json: worst-case search rows must keep finding
     the analytic worst decision rounds, the Example-7.1 anchor and the
     adaptive-vs-static comparison must hold, every fuzz row must stay
     violation-free, and the headline search must not regress >max-ratio in
     wall time against the committed baseline."""
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    with open(fresh_path) as fh:
-        fresh = json.load(fh)
+    baseline, fresh = load_pair(baseline_path, fresh_path)
 
-    base_s = float(baseline["headline"]["seconds"])
-    fresh_s = float(fresh["headline"]["seconds"])
-    ratio = fresh_s / base_s if base_s > 0 else float("inf")
-    flag = " <-- REGRESSION" if ratio > max_ratio else ""
-    print(f"{'adversary headline':<24} {base_s:>11.4f}s {fresh_s:>11.4f}s "
-          f"{ratio:>7.2f}x{flag}")
-    if ratio > max_ratio:
-        failures.append(
-            f"adversary headline search: {fresh_s:.4f}s vs baseline "
-            f"{base_s:.4f}s ({ratio:.2f}x slower > {max_ratio}x)")
+    gate_headline_ratio("adversary headline",
+                        float(baseline["headline"]["seconds"]),
+                        float(fresh["headline"]["seconds"]),
+                        args.max_ratio, failures)
 
     for row in fresh.get("worst_case", []):
         if not row.get("ok", False):
@@ -269,26 +241,18 @@ def check_adversary(baseline_path, fresh_path, max_ratio, failures):
                 f"violations in {row.get('runs')} fuzz runs")
 
 
-def check_recovery(baseline_path, fresh_path, max_ratio, failures):
+def check_recovery(baseline_path, fresh_path, args, failures):
     """Gates BENCH_recovery.json: replay-verification throughput against the
     committed baseline, plus every correctness flag — traces verifying
     offline, snapshot/crash runs matching uninterrupted records, and the
     tamper sweep rejecting every mutation."""
-    with open(baseline_path) as fh:
-        baseline = json.load(fh)
-    with open(fresh_path) as fh:
-        fresh = json.load(fh)
+    baseline, fresh = load_pair(baseline_path, fresh_path)
 
-    base_tps = float(baseline["headline"]["traces_per_sec"])
-    fresh_tps = float(fresh["headline"]["traces_per_sec"])
-    ratio = base_tps / fresh_tps if fresh_tps > 0 else float("inf")
-    flag = " <-- REGRESSION" if ratio > max_ratio else ""
-    print(f"{'recovery replay':<24} {base_tps:>10.0f}/s {fresh_tps:>10.0f}/s "
-          f"{ratio:>7.2f}x{flag}")
-    if ratio > max_ratio:
-        failures.append(
-            f"recovery replay: {fresh_tps:.0f} verifications/s vs baseline "
-            f"{base_tps:.0f} ({ratio:.2f}x slower > {max_ratio}x)")
+    gate_headline_ratio("recovery replay",
+                        float(baseline["headline"]["traces_per_sec"]),
+                        float(fresh["headline"]["traces_per_sec"]),
+                        args.max_ratio, failures, unit="/s",
+                        lower_is_better=False)
 
     if not fresh.get("headline", {}).get("ok", False):
         failures.append("recovery headline: a streamed trace failed offline "
@@ -310,30 +274,88 @@ def check_recovery(baseline_path, fresh_path, max_ratio, failures):
             f"{tamper.get('mutations')} mutations rejected")
 
 
+def check_scale(baseline_path, fresh_path, args, failures):
+    """Gates BENCH_scale.json (orbit-level run reuse): headline relabel-path
+    wall time against the committed baseline, the same-machine speedup of
+    relabeling over re-simulation, every reuse row's bit-identity flags, and
+    every representative-world spec sweep's coverage and correctness."""
+    baseline, fresh = load_pair(baseline_path, fresh_path)
+
+    gate_headline_ratio("scale headline reuse",
+                        float(baseline["headline"]["seconds"]),
+                        float(fresh["headline"]["seconds"]),
+                        args.max_ratio, failures)
+
+    # Same-machine ratio: relabeling must stay >= min-scale-speedup over
+    # re-simulating the identical run set.
+    speedup = float(fresh["headline"]["speedup"])
+    print(f"{'relabel vs resimulate':<24} "
+          f"{'(min ' + str(args.min_scale_speedup) + 'x)':>12} "
+          f"{speedup:>10.2f}x")
+    if speedup < args.min_scale_speedup:
+        failures.append(
+            f"relabel path only {speedup:.2f}x re-simulation on the headline "
+            f"context (minimum {args.min_scale_speedup}x)")
+
+    reuse = fresh.get("reuse", [])
+    if not reuse:
+        failures.append("fresh scale report has no reuse rows")
+    for row in reuse:
+        if not row.get("identical_to_resimulation", False):
+            failures.append(
+                f"scale reuse {row.get('label')}: relabel path diverges from "
+                f"re-simulation (decisions_match="
+                f"{row.get('decisions_match')} knowledge_identical="
+                f"{row.get('knowledge_identical')})")
+
+    spec = fresh.get("spec_scale", [])
+    if not spec:
+        failures.append("fresh scale report has no spec_scale rows")
+    for row in spec:
+        if not row.get("spec_ok", False):
+            failures.append(
+                f"scale sweep {row.get('label')}: EBA spec violated")
+        if row.get("covered") != row.get("space"):
+            failures.append(
+                f"scale sweep {row.get('label')}: representative weights "
+                f"cover {row.get('covered')} of {row.get('space')} worlds")
+
+
+# Native-JSON bench series: each (name, checker) row grows a
+# --baseline-<name>/--fresh-<name> argument pair; the checker runs when the
+# pair is supplied and sees (baseline_path, fresh_path, args, failures).
+SERIES = [
+    ("throughput", check_throughput),
+    ("synthesis", check_synthesis),
+    ("go", check_go),
+    ("adversary", check_adversary),
+    ("recovery", check_recovery),
+    ("scale", check_scale),
+]
+
+
+def load_times(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        times[bench["name"]] = (float(bench["cpu_time"]), bench["time_unit"])
+    return times
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_perf.json")
     parser.add_argument("--fresh", required=True,
                         help="freshly generated BENCH_perf.json")
-    parser.add_argument("--baseline-throughput",
-                        help="committed BENCH_throughput.json")
-    parser.add_argument("--fresh-throughput",
-                        help="freshly generated BENCH_throughput.json")
-    parser.add_argument("--baseline-synthesis",
-                        help="committed BENCH_synthesis.json")
-    parser.add_argument("--fresh-synthesis",
-                        help="freshly generated BENCH_synthesis.json")
-    parser.add_argument("--baseline-go", help="committed BENCH_go.json")
-    parser.add_argument("--fresh-go", help="freshly generated BENCH_go.json")
-    parser.add_argument("--baseline-adversary",
-                        help="committed BENCH_adversary.json")
-    parser.add_argument("--fresh-adversary",
-                        help="freshly generated BENCH_adversary.json")
-    parser.add_argument("--baseline-recovery",
-                        help="committed BENCH_recovery.json")
-    parser.add_argument("--fresh-recovery",
-                        help="freshly generated BENCH_recovery.json")
+    for name, _ in SERIES:
+        parser.add_argument(f"--baseline-{name}",
+                            help=f"committed BENCH_{name}.json")
+        parser.add_argument(f"--fresh-{name}",
+                            help=f"freshly generated BENCH_{name}.json")
     parser.add_argument("--max-ratio", type=float, default=2.0,
                         help="fail when fresh/baseline exceeds this (default 2)")
     parser.add_argument("--min-speedup", type=float, default=5.0,
@@ -342,6 +364,9 @@ def main():
     parser.add_argument("--min-synthesis-speedup", type=float, default=5.0,
                         help="minimum optimized-synthesizer speedup over the "
                              "pre-optimization synthesizer (default 5)")
+    parser.add_argument("--min-scale-speedup", type=float, default=5.0,
+                        help="minimum relabel-path speedup over full "
+                             "re-simulation (default 5)")
     args = parser.parse_args()
 
     baseline = load_times(args.baseline)
@@ -378,38 +403,14 @@ def main():
     if compared == 0:
         failures.append("no gated benchmark was present in both reports")
 
-    if bool(args.baseline_throughput) != bool(args.fresh_throughput):
-        failures.append("--baseline-throughput and --fresh-throughput must "
-                        "be passed together")
-    elif args.baseline_throughput:
-        check_throughput(args.baseline_throughput, args.fresh_throughput,
-                         args.max_ratio, args.min_speedup, failures)
-
-    if bool(args.baseline_synthesis) != bool(args.fresh_synthesis):
-        failures.append("--baseline-synthesis and --fresh-synthesis must "
-                        "be passed together")
-    elif args.baseline_synthesis:
-        check_synthesis(args.baseline_synthesis, args.fresh_synthesis,
-                        args.max_ratio, args.min_synthesis_speedup, failures)
-
-    if bool(args.baseline_go) != bool(args.fresh_go):
-        failures.append("--baseline-go and --fresh-go must be passed together")
-    elif args.baseline_go:
-        check_go(args.baseline_go, args.fresh_go, args.max_ratio, failures)
-
-    if bool(args.baseline_adversary) != bool(args.fresh_adversary):
-        failures.append("--baseline-adversary and --fresh-adversary must be "
-                        "passed together")
-    elif args.baseline_adversary:
-        check_adversary(args.baseline_adversary, args.fresh_adversary,
-                        args.max_ratio, failures)
-
-    if bool(args.baseline_recovery) != bool(args.fresh_recovery):
-        failures.append("--baseline-recovery and --fresh-recovery must be "
-                        "passed together")
-    elif args.baseline_recovery:
-        check_recovery(args.baseline_recovery, args.fresh_recovery,
-                       args.max_ratio, failures)
+    for name, checker in SERIES:
+        baseline_path = getattr(args, f"baseline_{name}")
+        fresh_path = getattr(args, f"fresh_{name}")
+        if bool(baseline_path) != bool(fresh_path):
+            failures.append(f"--baseline-{name} and --fresh-{name} must be "
+                            f"passed together")
+        elif baseline_path:
+            checker(baseline_path, fresh_path, args, failures)
 
     if failures:
         print("\nPerf gate FAILED:", file=sys.stderr)

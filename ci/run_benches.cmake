@@ -91,6 +91,22 @@ else()
   message(WARNING "bench_go binary not found; BENCH_go.json not refreshed")
 endif()
 
+# --- bench_scale: emits its own JSON on stdout -------------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_scale)
+  message(STATUS "Running bench_scale (orbit-level run reuse, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_scale
+    RESULT_VARIABLE scale_rc
+    OUTPUT_VARIABLE scale_out
+    ERROR_VARIABLE scale_err)
+  if(NOT scale_rc EQUAL 0)
+    message(FATAL_ERROR "bench_scale failed (rc=${scale_rc}):\n${scale_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_scale.json "${scale_out}")
+else()
+  message(WARNING "bench_scale binary not found; BENCH_scale.json not refreshed")
+endif()
+
 # --- bench_adversary: emits its own JSON on stdout ---------------------------
 if(EXISTS ${BENCH_BIN_DIR}/bench_adversary)
   message(STATUS "Running bench_adversary (worst-case search + adaptive + fuzz, native JSON)")

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstdint>
 #include <initializer_list>
+#include <vector>
 
 #include "core/assert.hpp"
 
@@ -52,6 +53,18 @@ class AgentSet {
   [[nodiscard]] AgentSet minus(AgentSet o) const { return AgentSet(bits_ & ~o.bits_); }
   [[nodiscard]] AgentSet complement(int n) const { return all(n).minus(*this); }
   [[nodiscard]] bool subset_of(AgentSet o) const { return (bits_ & ~o.bits_) == 0; }
+
+  /// The image {perm[i] : i ∈ this} under an agent renaming (perm[i] = new
+  /// id of agent i). Precondition: every member indexes into perm.
+  [[nodiscard]] AgentSet permuted(const std::vector<AgentId>& perm) const {
+    AgentSet out;
+    for (AgentId i : *this) {
+      EBA_REQUIRE(static_cast<std::size_t>(i) < perm.size(),
+                  "agent id outside the renaming");
+      out.insert(perm[static_cast<std::size_t>(i)]);
+    }
+    return out;
+  }
 
   friend bool operator==(AgentSet, AgentSet) = default;
 

@@ -1,0 +1,75 @@
+// A precompiled agent renaming: byte-sliced lookup tables mapping a 64-bit
+// agent mask to its image in ceil(n/8) table lookups instead of a per-bit
+// scatter. The relabel engine (sim/relabel.hpp) permutes thousands of mask
+// words per run — every CommGraph row, every delivery set — so the renaming
+// is compiled once per permutation and reused across all of them.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/agent_set.hpp"
+
+namespace eba {
+
+class Renaming {
+ public:
+  explicit Renaming(std::vector<AgentId> perm) : perm_(std::move(perm)) {
+    const std::size_t n = perm_.size();
+    EBA_REQUIRE(n <= static_cast<std::size_t>(kMaxAgents),
+                "renaming larger than the agent-id space");
+    inv_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      inv_[static_cast<std::size_t>(perm_[i])] = static_cast<AgentId>(i);
+    const std::size_t nbytes = (n + 7) / 8;
+    tables_.assign(nbytes * 256, 0);
+    for (std::size_t b = 0; b < nbytes; ++b) {
+      std::uint64_t* tab = tables_.data() + b * 256;
+      // tab[v] = image of byte value v in slice b; built incrementally from
+      // the value with its lowest bit cleared.
+      for (std::uint32_t v = 1; v < 256; ++v) {
+        const std::size_t i =
+            b * 8 + static_cast<std::size_t>(std::countr_zero(v));
+        std::uint64_t image = 0;
+        if (i < n) {
+          EBA_REQUIRE(perm_[i] >= 0 && perm_[i] < kMaxAgents,
+                      "renaming image out of range");
+          image = std::uint64_t{1} << perm_[i];
+        }
+        tab[v] = tab[v & (v - 1)] | image;
+      }
+    }
+  }
+
+  [[nodiscard]] const std::vector<AgentId>& perm() const { return perm_; }
+  [[nodiscard]] std::size_t size() const { return perm_.size(); }
+  [[nodiscard]] AgentId operator[](std::size_t i) const { return perm_[i]; }
+
+  /// The inverse permutation (perm[i] = j implies inverse[j] = i),
+  /// precomputed at construction so hot relabel loops can borrow it.
+  [[nodiscard]] const std::vector<AgentId>& inverse() const { return inv_; }
+
+  /// The image {perm[i] : bit i set} of a mask. Precondition: every set bit
+  /// indexes into the renaming.
+  [[nodiscard]] std::uint64_t map_bits(std::uint64_t bits) const {
+    EBA_REQUIRE(perm_.size() >= 64 || (bits >> perm_.size()) == 0,
+                "agent id outside the renaming");
+    std::uint64_t out = 0;
+    std::size_t b = 0;
+    for (std::uint64_t rest = bits; rest; rest >>= 8, ++b)
+      out |= tables_[b * 256 + (rest & 0xff)];
+    return out;
+  }
+
+  [[nodiscard]] AgentSet map(AgentSet s) const {
+    return AgentSet(map_bits(s.bits()));
+  }
+
+ private:
+  std::vector<AgentId> perm_;
+  std::vector<AgentId> inv_;
+  std::vector<std::uint64_t> tables_;
+};
+
+}  // namespace eba

@@ -1,7 +1,9 @@
 #include "failure/canonical.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
+#include <utility>
 
 namespace eba {
 namespace {
@@ -267,11 +269,16 @@ std::uint64_t orbit_size(const FailurePattern& p) {
   return slice_multiplicity(s, make_subgroup(s.n, s.k));
 }
 
-std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
+std::uint64_t expand_orbit_perms(
+    const FailurePattern& rep,
+    const std::function<bool(const FailurePattern&,
+                             const std::vector<AgentId>&)>& fn) {
+  const int n = rep.n();
   if (rep.num_faulty() == 0) {
-    std::vector<FailurePattern> out;
-    out.emplace_back(rep.n(), AgentSet::all(rep.n()));
-    return out;
+    std::vector<AgentId> identity(static_cast<std::size_t>(n));
+    std::iota(identity.begin(), identity.end(), 0);
+    fn(FailurePattern(n, AgentSet::all(n)), identity);
+    return 1;
   }
   const Slice s = slice_of(rep);
   const Subgroup g = make_subgroup(s.n, s.k);
@@ -279,8 +286,11 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
   for (AgentId i = 0; i < s.k; ++i) prefix.insert(i);
   EBA_REQUIRE(rep.faulty() == prefix && slice_is_canonical(s, g),
               "expand_orbit needs a canonical representative");
-  // Distinct drop tensors over the fixed partition {0..k-1} | {k..n-1}.
-  std::vector<std::vector<std::uint64_t>> images;
+  // Distinct drop tensors over the fixed partition {0..k-1} | {k..n-1},
+  // each tagged with the smallest group index producing it, so the member's
+  // renaming can be reconstructed. Sorting by (words, index) then deduping
+  // on words keeps image order identical to the perm-less overloads.
+  std::vector<std::pair<std::vector<std::uint64_t>, std::size_t>> images;
   std::vector<std::uint64_t> img(s.words.size());
   for (std::size_t gi = 0; gi < g.perms.size(); ++gi) {
     for (int m = 0; m < s.rows(); ++m) {
@@ -292,18 +302,24 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
                               g.invs[gi][static_cast<std::size_t>(out)])],
             g.perms[gi]);
     }
-    images.push_back(img);
+    images.emplace_back(img, gi);
   }
   std::sort(images.begin(), images.end());
-  images.erase(std::unique(images.begin(), images.end()), images.end());
+  images.erase(std::unique(images.begin(), images.end(),
+                           [](const auto& a, const auto& b) {
+                             return a.first == b.first;
+                           }),
+               images.end());
 
   // One coset relabeling per faulty set: {0..k-1} -> F ascending and
   // {k..n-1} -> complement ascending maps each distinct fixed-partition
   // image to a distinct orbit member with faulty set F, covering the orbit
-  // exactly once.
-  std::vector<FailurePattern> out;
+  // exactly once. The member's renaming composes the image's group element
+  // with the coset map: member == relabeled(rep, map ∘ g.perm).
+  std::uint64_t members = 0;
   std::vector<AgentId> idx(static_cast<std::size_t>(s.k));
   std::iota(idx.begin(), idx.end(), 0);
+  std::vector<AgentId> compose(static_cast<std::size_t>(s.n));
   const bool some_subset = s.k > 0;
   for (;;) {
     std::vector<AgentId> map(static_cast<std::size_t>(s.n));
@@ -318,7 +334,7 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
       (faulty.contains(i) ? fs : ns).push_back(i);
     for (AgentId i : fs) map[static_cast<std::size_t>(next_f++)] = i;
     for (AgentId i : ns) map[static_cast<std::size_t>(next_n++)] = i;
-    for (const auto& words : images) {
+    for (const auto& [words, gi] : images) {
       FailurePattern p(s.n, faulty.complement(s.n));
       for (int m = 0; m < s.rounds; ++m)
         for (int snd = 0; snd < s.k; ++snd)
@@ -341,11 +357,116 @@ std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
               p.drop_receive(m, map[static_cast<std::size_t>(from)],
                              map[static_cast<std::size_t>(rcv)]);
       }
-      out.push_back(std::move(p));
+      for (int i = 0; i < s.n; ++i)
+        compose[static_cast<std::size_t>(i)] = map[static_cast<std::size_t>(
+            g.perms[gi][static_cast<std::size_t>(i)])];
+      ++members;
+      if (!fn(p, compose)) return members;
     }
     if (!some_subset || !detail::next_combination(idx, s.n)) break;
   }
+  return members;
+}
+
+std::uint64_t expand_orbit(
+    const FailurePattern& rep,
+    const std::function<bool(const FailurePattern&)>& fn) {
+  return expand_orbit_perms(
+      rep, [&fn](const FailurePattern& p, const std::vector<AgentId>&) {
+        return fn(p);
+      });
+}
+
+std::vector<FailurePattern> expand_orbit(const FailurePattern& rep) {
+  std::vector<FailurePattern> out;
+  expand_orbit(rep, [&out](const FailurePattern& p) {
+    out.push_back(p);
+    return true;
+  });
   return out;
+}
+
+std::vector<std::vector<AgentId>> orbit_stabilizer(const FailurePattern& rep) {
+  const int n = rep.n();
+  const int k = rep.num_faulty();
+  Subgroup g = make_subgroup(n, k);
+  // No drops to preserve: every renaming fixes the drop-free pattern.
+  if (k == 0) return std::move(g.perms);
+  AgentSet prefix;
+  for (AgentId i = 0; i < k; ++i) prefix.insert(i);
+  EBA_REQUIRE(rep.faulty() == prefix,
+              "orbit_stabilizer needs a canonical representative");
+  const Slice s = slice_of(rep);
+  std::vector<std::vector<AgentId>> stab;
+  stab.push_back(std::move(g.perms[0]));
+  for (std::size_t gi = 1; gi < g.perms.size(); ++gi) {
+    const int order = compare_image(s, g.perms[gi], g.invs[gi]);
+    EBA_REQUIRE(order >= 0,
+                "orbit_stabilizer needs a canonical representative");
+    if (order == 0) stab.push_back(std::move(g.perms[gi]));
+  }
+  return stab;
+}
+
+PreferenceQuotient preference_quotient(const FailurePattern& rep) {
+  const int n = rep.n();
+  EBA_REQUIRE(n >= 1 && n <= kMaxCanonicalAgents,
+              "agent count out of canonicalization range");
+  const std::uint64_t P = std::uint64_t{1} << n;
+  constexpr std::uint32_t kUnassigned = ~std::uint32_t{0};
+  PreferenceQuotient q;
+  q.class_of.assign(static_cast<std::size_t>(P), kUnassigned);
+  q.sigma.resize(static_cast<std::size_t>(P));
+  if (rep.num_faulty() == 0) {
+    // Drop-free orbit: the stabilizer is all of S_n, so masks are classed by
+    // popcount without materializing n! permutations. The representative of
+    // popcount class pc is the low-bit mask 2^pc - 1; sigma routes its set
+    // positions {0..pc-1} onto the mask's set positions (ascending) and the
+    // rest onto the clear positions, which is the identity on the class
+    // representative itself.
+    q.classes.resize(static_cast<std::size_t>(n) + 1);
+    for (int pc = 0; pc <= n; ++pc) {
+      q.classes[static_cast<std::size_t>(pc)].mask =
+          (std::uint64_t{1} << pc) - 1;
+      q.classes[static_cast<std::size_t>(pc)].size = choose(n, pc);
+    }
+    for (std::uint64_t mask = 0; mask < P; ++mask) {
+      const int pc = std::popcount(mask);
+      q.class_of[static_cast<std::size_t>(mask)] =
+          static_cast<std::uint32_t>(pc);
+      std::vector<AgentId> sg(static_cast<std::size_t>(n));
+      int next_set = 0;
+      int next_clear = pc;
+      for (AgentId i = 0; i < n; ++i) {
+        if ((mask >> i) & 1)
+          sg[static_cast<std::size_t>(next_set++)] = i;
+        else
+          sg[static_cast<std::size_t>(next_clear++)] = i;
+      }
+      q.sigma[static_cast<std::size_t>(mask)] = std::move(sg);
+    }
+    return q;
+  }
+  const auto stab = orbit_stabilizer(rep);
+  for (std::uint64_t c = 0; c < P; ++c) {
+    if (q.class_of[static_cast<std::size_t>(c)] != kUnassigned) continue;
+    // c is the smallest unclassified mask, hence its class's lex minimum.
+    const auto idx = static_cast<std::uint32_t>(q.classes.size());
+    q.classes.push_back({c, 0});
+    for (const auto& sg : stab) {
+      const std::uint64_t m = permute_bits(c, sg);
+      auto& cls = q.class_of[static_cast<std::size_t>(m)];
+      if (cls != kUnassigned) continue;
+      cls = idx;
+      q.sigma[static_cast<std::size_t>(m)] = sg;
+      ++q.classes[static_cast<std::size_t>(idx)].size;
+    }
+  }
+  return q;
+}
+
+std::vector<PreferenceClass> preference_classes(const FailurePattern& rep) {
+  return preference_quotient(rep).classes;
 }
 
 std::uint64_t enumerate_canonical_adversaries(

@@ -85,6 +85,66 @@ inline constexpr int kMaxCanonicalAgents = 10;
 [[nodiscard]] std::vector<FailurePattern> expand_orbit(
     const FailurePattern& rep);
 
+/// Streaming expand_orbit: invokes `fn(member)` once per distinct orbit
+/// member, in exactly the materializing overload's order, without
+/// allocating the member vector. Stops early when fn returns false.
+/// Returns the number of members visited. Precondition: is_canonical(rep).
+std::uint64_t expand_orbit(const FailurePattern& rep,
+                           const std::function<bool(const FailurePattern&)>& fn);
+
+/// As the streaming expand_orbit, but additionally hands fn a renaming π
+/// with member == relabeled(rep, π) (perm[i] = new id of agent i). The
+/// first member is rep itself under the identity renaming. This is the
+/// run-level seam: by protocol equivariance, run(π·α, π·prefs) is the
+/// agent-relabeling of run(α, prefs), so a consumer holding the
+/// representative's simulated runs can produce every member's runs with
+/// sim/relabel.hpp instead of re-simulating (kripke/system.hpp).
+/// Precondition: is_canonical(rep).
+std::uint64_t expand_orbit_perms(
+    const FailurePattern& rep,
+    const std::function<bool(const FailurePattern&,
+                             const std::vector<AgentId>&)>& fn);
+
+/// The stabilizer of canonical representative `rep` inside S_k × S_{n-k}:
+/// every renaming σ with relabeled(rep, σ) == rep, identity first. For
+/// k == 0 this is all of S_n (n! elements — prefer preference_quotient,
+/// which special-cases the drop-free orbit). Precondition: is_canonical(rep).
+[[nodiscard]] std::vector<std::vector<AgentId>> orbit_stabilizer(
+    const FailurePattern& rep);
+
+/// One equivalence class of preference-vector bitmasks (bit i set = agent i
+/// prefers 1) under rep's stabilizer: the lexicographically smallest mask
+/// of the class, and the class size.
+struct PreferenceClass {
+  std::uint64_t mask = 0;
+  std::uint64_t size = 0;
+  friend bool operator==(const PreferenceClass&,
+                         const PreferenceClass&) = default;
+};
+
+/// The quotient of all 2^n preference masks by rep's stabilizer. Since
+/// stabilizer elements fix the pattern, run(rep, σ·p) is the σ-relabeling
+/// of run(rep, p): one simulation per class representative covers the whole
+/// preference cube ("preference-vector quotienting"). Per-run-invariant
+/// sweeps weight each class representative by its size; run-level reuse
+/// relabels through `sigma`. Precondition: is_canonical(rep).
+struct PreferenceQuotient {
+  /// Classes in ascending order of representative mask; sizes sum to 2^n.
+  std::vector<PreferenceClass> classes;
+  /// class_of[mask] -> index into `classes`.
+  std::vector<std::uint32_t> class_of;
+  /// sigma[mask]: a stabilizer element with
+  /// AgentSet(classes[class_of[mask]].mask).permuted(sigma[mask]) == mask
+  /// (the identity for class representatives).
+  std::vector<std::vector<AgentId>> sigma;
+};
+
+[[nodiscard]] PreferenceQuotient preference_quotient(const FailurePattern& rep);
+
+/// Just the classes of preference_quotient(rep) (no per-mask tables).
+[[nodiscard]] std::vector<PreferenceClass> preference_classes(
+    const FailurePattern& rep);
+
 /// Invokes `fn(representative, multiplicity)` once per orbit of the
 /// cfg.model space of `cfg` (SO or GO), where multiplicity =
 /// orbit_size(representative), so that the multiplicities over all visited

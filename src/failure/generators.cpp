@@ -108,6 +108,16 @@ std::vector<std::vector<Value>> all_preference_vectors(int n) {
   return out;
 }
 
+std::vector<Value> preferences_of_mask(std::uint64_t mask, int n) {
+  EBA_REQUIRE(n >= 1 && n < 24, "agent count out of range");
+  EBA_REQUIRE(mask < (std::uint64_t{1} << n), "mask has bits beyond agent n-1");
+  std::vector<Value> prefs(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    prefs[static_cast<std::size_t>(i)] =
+        value_of(static_cast<int>((mask >> i) & 1u));
+  return prefs;
+}
+
 std::vector<Value> sample_preferences(int n, Rng& rng) {
   std::vector<Value> prefs(static_cast<std::size_t>(n));
   for (auto& v : prefs) v = rng.chance(0.5) ? Value::one : Value::zero;

@@ -63,8 +63,13 @@ std::uint64_t enumerate_adversaries(
                                                  double recv_drop_prob,
                                                  Rng& rng);
 
-/// All initial-preference vectors for n agents (2^n of them).
+/// All initial-preference vectors for n agents (2^n of them), in ascending
+/// order of mask, where bit i of the mask is agent i's preference.
 [[nodiscard]] std::vector<std::vector<Value>> all_preference_vectors(int n);
+
+/// The single preference vector of a mask (bit i = agent i's preference):
+/// preferences_of_mask(mask, n) == all_preference_vectors(n)[mask].
+[[nodiscard]] std::vector<Value> preferences_of_mask(std::uint64_t mask, int n);
 
 /// A random preference vector.
 [[nodiscard]] std::vector<Value> sample_preferences(int n, Rng& rng);

@@ -1,0 +1,26 @@
+#include "failure/orbit_sweep.hpp"
+
+#include "failure/canonical.hpp"
+#include "failure/generators.hpp"
+
+namespace eba {
+
+std::uint64_t for_each_representative_world(
+    const EnumerationConfig& cfg,
+    const std::function<bool(const FailurePattern&, const std::vector<Value>&,
+                             std::uint64_t)>& fn) {
+  std::uint64_t covered = 0;
+  enumerate_canonical_adversaries(
+      cfg, [&](const FailurePattern& rep, std::uint64_t multiplicity) {
+        for (const PreferenceClass& cls : preference_classes(rep)) {
+          const std::uint64_t weight = multiplicity * cls.size;
+          covered += weight;
+          if (!fn(rep, preferences_of_mask(cls.mask, cfg.n), weight))
+            return false;
+        }
+        return true;
+      });
+  return covered;
+}
+
+}  // namespace eba

@@ -1,0 +1,45 @@
+// Representative-world sweeps: the quotient of the full verification
+// context (all adversaries × all preference vectors) by agent renaming.
+//
+// A "world" here is one (failure pattern, preference vector) pair — exactly
+// what the exhaustive spec/domination sweeps and the synthesizer's context
+// builders iterate over. The renaming group acts diagonally: π carries
+// (α, p) to (π·α, π·p), and by protocol equivariance the resulting run is
+// the agent-relabeling of the original. Any per-run-invariant property —
+// spec verdicts, worst decision rounds, message/bit totals — therefore has
+// the same value on every world of an orbit, so a whole-space sweep may
+// visit one representative per orbit and weight it by the orbit size.
+//
+// The orbit structure factors: pattern orbits come from
+// enumerate_canonical_adversaries, and within one pattern orbit the
+// diagonal action on preference cubes reduces to the representative
+// pattern's stabilizer acting on preference masks (failure/canonical.hpp's
+// PreferenceQuotient). Orbit size = pattern multiplicity × preference-class
+// size, and the sizes over all representatives sum to exactly
+// count_adversaries(cfg) × 2^n — each world of the context is covered by
+// exactly one representative.
+//
+// NOT sound for epistemic checks: knowledge needs the full run set
+// (kripke/system.hpp expands orbits back; this header is for the sweeps
+// that don't).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "failure/adversary_iter.hpp"
+#include "failure/pattern.hpp"
+
+namespace eba {
+
+/// Invokes `fn(pattern, prefs, weight)` once per orbit of the diagonal
+/// renaming action on (adversary, preference vector) worlds of `cfg`, where
+/// weight is the orbit size. Stops early when fn returns false. Returns the
+/// total weight visited (== count_adversaries(cfg) * 2^n on a full sweep).
+std::uint64_t for_each_representative_world(
+    const EnumerationConfig& cfg,
+    const std::function<bool(const FailurePattern&, const std::vector<Value>&,
+                             std::uint64_t)>& fn);
+
+}  // namespace eba

@@ -70,6 +70,40 @@ void CommGraph::merge(const CommGraph& other) {
   ++revision_;
 }
 
+CommGraph CommGraph::relabeled(const std::vector<AgentId>& perm) const {
+  EBA_REQUIRE(static_cast<int>(perm.size()) == n_,
+              "permutation size mismatch");
+  CommGraph out(*this);
+  out.pref_known_ = AgentSet(pref_known_).permuted(perm).bits();
+  out.pref_value_ = AgentSet(pref_value_).permuted(perm).bits();
+  for (int m = 0; m < time_; ++m)
+    for (AgentId to = 0; to < n_; ++to) {
+      const std::size_t dst = out.row(m, perm[static_cast<std::size_t>(to)]);
+      const std::size_t src = row(m, to);
+      out.known_[dst] = AgentSet(known_[src]).permuted(perm).bits();
+      out.value_[dst] = AgentSet(value_[src]).permuted(perm).bits();
+    }
+  ++out.revision_;
+  return out;
+}
+
+CommGraph CommGraph::relabeled(const Renaming& ren) const {
+  EBA_REQUIRE(static_cast<int>(ren.size()) == n_,
+              "permutation size mismatch");
+  CommGraph out(*this);
+  out.pref_known_ = ren.map_bits(pref_known_);
+  out.pref_value_ = ren.map_bits(pref_value_);
+  for (int m = 0; m < time_; ++m)
+    for (AgentId to = 0; to < n_; ++to) {
+      const std::size_t dst = out.row(m, ren[static_cast<std::size_t>(to)]);
+      const std::size_t src = row(m, to);
+      out.known_[dst] = ren.map_bits(known_[src]);
+      out.value_[dst] = ren.map_bits(value_[src]);
+    }
+  ++out.revision_;
+  return out;
+}
+
 std::size_t CommGraph::hash() const {
   std::uint64_t h = mix64((static_cast<std::uint64_t>(n_) << 32) |
                           static_cast<std::uint64_t>(time_));

@@ -41,6 +41,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/renaming.hpp"
 #include "core/types.hpp"
 
 namespace eba {
@@ -143,6 +144,18 @@ class CommGraph {
 
   /// Uninformative graph of the given shape, used by view extraction.
   static CommGraph blank(int n, int time);
+
+  /// The graph under the agent renaming π (perm[i] = new id of agent i):
+  /// edge (π(from), m) -> (π(to), m+1) carries the label of (from, m) ->
+  /// (to, m+1), and π(j)'s preference label is j's. Word-parallel — each
+  /// receiver row is one permuted mask move — so relabeling a whole run is
+  /// orders of magnitude cheaper than re-simulating it (sim/relabel.hpp).
+  [[nodiscard]] CommGraph relabeled(const std::vector<AgentId>& perm) const;
+
+  /// Same renaming through a precompiled Renaming: each mask word moves in
+  /// ceil(n/8) table lookups. The relabel engine compiles the renaming once
+  /// per run and reuses it for every graph plane (sim/relabel.hpp).
+  [[nodiscard]] CommGraph relabeled(const Renaming& ren) const;
 
   /// Mutation counter: bumped by every set_label/set_pref/set_row/
   /// advance_round/merge. KnowledgeCache keys its memoized cones and fault

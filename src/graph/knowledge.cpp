@@ -173,12 +173,18 @@ std::span<const OmissionEvidence> KnowledgeCache::go_evidence_row(
 
 const Cone& KnowledgeCache::cone(const CommGraph& g, AgentId target, int m_top) {
   sync(g);
-  const std::uint64_t key = (static_cast<std::uint64_t>(target) << 32) |
-                            static_cast<std::uint32_t>(m_top);
-  auto it = cones_.find(key);
-  if (it == cones_.end())
-    it = cones_.try_emplace(key, g, target, m_top).first;
-  return it->second;
+  if (cones_.empty()) {
+    cone_stride_ = g.time() + 1;
+    cones_.resize(static_cast<std::size_t>(g.n()) *
+                  static_cast<std::size_t>(cone_stride_));
+  }
+  EBA_REQUIRE(target >= 0 && target < g.n(), "agent out of range");
+  EBA_REQUIRE(m_top >= 0 && m_top < cone_stride_, "time out of range");
+  auto& cell = cones_[static_cast<std::size_t>(target) *
+                          static_cast<std::size_t>(cone_stride_) +
+                      static_cast<std::size_t>(m_top)];
+  if (!cell) cell.emplace(g, target, m_top);
+  return *cell;
 }
 
 namespace {

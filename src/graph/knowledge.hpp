@@ -38,8 +38,8 @@
 // graph actually changes.
 #pragma once
 
+#include <optional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/comm_graph.hpp"
@@ -213,7 +213,12 @@ class KnowledgeCache {
   std::vector<AgentSet> faults_;  ///< (time+1) rows of n, row-major
   bool have_go_evidence_ = false;
   std::vector<OmissionEvidence> go_evidence_;  ///< (time+1) rows of n
-  std::unordered_map<std::uint64_t, Cone> cones_;  ///< key: target << 32 | m_top
+  /// Flat (target, m_top) memo, lazily sized to n * (time+1) on first cone()
+  /// after a sync: index target * cone_stride_ + m_top. The dense direct
+  /// index replaces a hash lookup that showed up in every cached
+  /// common_test; optional because Cone has no default constructor.
+  std::vector<std::optional<Cone>> cones_;
+  int cone_stride_ = 0;  ///< time+1 at the sizing sync
 };
 
 /// Reconstructs G_{j,m'} from `g`. Precondition: (j, m') is in the cone of

@@ -1,0 +1,57 @@
+#include "kripke/canonical_worlds.hpp"
+
+#include "failure/canonical.hpp"
+#include "failure/generators.hpp"
+
+namespace eba {
+
+CanonicalContext canonical_context_worlds(const EnumerationConfig& cfg) {
+  CanonicalContext ctx;
+  const std::size_t P = std::size_t{1} << cfg.n;
+  enumerate_canonical_adversaries(
+      cfg, [&](const FailurePattern& rep, std::uint64_t /*multiplicity*/) {
+        const PreferenceQuotient q = preference_quotient(rep);
+        ctx.representatives += q.classes.size();
+        const std::size_t orbit_base = ctx.worlds.size();
+        std::size_t mi = 0;
+        expand_orbit_perms(
+            rep,
+            [&](const FailurePattern& member, const std::vector<AgentId>& pi) {
+              std::vector<AgentId> inv(pi.size());
+              for (std::size_t i = 0; i < pi.size(); ++i)
+                inv[static_cast<std::size_t>(pi[i])] = static_cast<AgentId>(i);
+              for (std::size_t mask = 0; mask < P; ++mask) {
+                ctx.worlds.emplace_back(member,
+                                        preferences_of_mask(mask, cfg.n));
+                // World (π·rep, mask) = (π ∘ σ) · (rep, c): undo π on the
+                // preference mask, take its stabilizer class representative
+                // c, and compose the renamings.
+                const std::uint64_t underlying =
+                    AgentSet(mask).permuted(inv).bits();
+                const std::uint64_t c =
+                    q.classes[q.class_of[static_cast<std::size_t>(underlying)]]
+                        .mask;
+                WorldOrbit ob;
+                ob.rep = orbit_base + static_cast<std::size_t>(c);
+                if (mi == 0 && mask == c) {
+                  // The representative world itself (identity member, class
+                  // representative mask).
+                } else {
+                  const std::vector<AgentId>& sigma =
+                      q.sigma[static_cast<std::size_t>(underlying)];
+                  ob.perm.resize(pi.size());
+                  for (std::size_t i = 0; i < pi.size(); ++i)
+                    ob.perm[i] = pi[static_cast<std::size_t>(
+                        sigma[static_cast<std::size_t>(i)])];
+                }
+                ctx.orbits.push_back(std::move(ob));
+              }
+              ++mi;
+              return true;
+            });
+        return true;
+      });
+  return ctx;
+}
+
+}  // namespace eba

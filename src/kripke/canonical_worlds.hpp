@@ -1,0 +1,39 @@
+// Orbit-annotated synthesis contexts: the full (adversary × preference)
+// world list of a context, with every world tied to its renaming-orbit
+// representative so KbpSynthesizer::run can evaluate knowledge tests on
+// representatives only and relabel the rest (synthesis.hpp's WorldOrbit).
+//
+// The world list is exactly enumerate_adversaries × all_preference_vectors
+// up to ordering — synthesis needs the FULL closed world set (knowledge is
+// not invariant under dropping orbit members) — but it is emitted orbit by
+// orbit so the annotation is free: within one pattern orbit the worlds are
+// laid out member-major ((member index) × (preference mask)), the identity
+// member comes first, and the representative of world (π·rep, p) is the
+// identity-member world (rep, c) where c is the stabilizer class
+// representative of π⁻¹·p. The annotation's renaming composes π with the
+// stabilizer element carrying c to π⁻¹·p.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "failure/adversary_iter.hpp"
+#include "kripke/synthesis.hpp"
+
+namespace eba {
+
+struct CanonicalContext {
+  /// All worlds of the context, member-major per orbit.
+  std::vector<std::pair<FailurePattern, std::vector<Value>>> worlds;
+  /// orbits[w]: the representative world index and renaming of world w.
+  std::vector<WorldOrbit> orbits;
+  /// Number of representative worlds (== Σ per pattern orbit of its
+  /// preference-class count) — the evaluation load of an orbit-reuse run.
+  std::size_t representatives = 0;
+};
+
+/// The annotated context of cfg (SO or GO per cfg.model).
+[[nodiscard]] CanonicalContext canonical_context_worlds(
+    const EnumerationConfig& cfg);
+
+}  // namespace eba

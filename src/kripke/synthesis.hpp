@@ -44,11 +44,21 @@
 
 #include "failure/pattern.hpp"
 #include "net/pool.hpp"
+#include "sim/relabel.hpp"
 #include "sim/simulator.hpp"
 
 namespace eba {
 
 enum class KbpProgram { p0, p1 };
+
+/// Ties world w to its renaming-orbit representative: world w equals world
+/// `rep` relabeled by `perm` (pattern and preference vector both). A
+/// representative has rep == its own index (perm is ignored there and may be
+/// empty). Built by canonical_context_worlds (kripke/canonical_worlds.hpp).
+struct WorldOrbit {
+  std::size_t rep = 0;
+  std::vector<AgentId> perm;
+};
 
 struct SynthesisOptions {
   /// Evaluate knowledge tests once per joint-signature class of worlds.
@@ -89,8 +99,49 @@ class KbpSynthesizer {
 
   [[nodiscard]] SynthesisResult<X> run(const std::vector<World>& worlds,
                                        int horizon) {
+    return run(worlds, horizon, {});
+  }
+
+  /// Orbit-reuse run: when `orbits` is non-empty it must annotate every
+  /// world with its renaming-orbit representative, and the world list must
+  /// be closed under the annotated renamings (canonical_context_worlds
+  /// guarantees both). Knowledge tests are then evaluated on representative
+  /// worlds only; member actions and advanced states are obtained by
+  /// relabeling the representative's (sim/relabel.hpp).
+  ///
+  /// Soundness is the equivariance induction: member initial states equal
+  /// the relabeled representative initial states by construction, and if
+  /// states correspond under the renamings at time m then
+  /// indistinguishability classes correspond too (relabeling is a bijection
+  /// on the closed world list), so every knowledge test — a function of the
+  /// class and of equivariant propositions — agrees, the copied actions are
+  /// exactly what evaluation would have assigned, and advancing the
+  /// representative commutes with relabeling. The synthesized table and
+  /// per-world decisions are identical to the annotation-free run
+  /// (tests/test_relabel.cpp pins this; bench_synthesis gates the γ_fip(5)
+  /// point's decisions).
+  [[nodiscard]] SynthesisResult<X> run(const std::vector<World>& worlds,
+                                       int horizon,
+                                       const std::vector<WorldOrbit>& orbits) {
     const int n = x_.n();
     const auto nw = worlds.size();
+    orbits_ = orbits.empty() ? nullptr : &orbits;
+    orbit_reps_.clear();
+    orbit_members_.clear();
+    if (orbits_) {
+      EBA_REQUIRE(orbits.size() == nw, "orbit annotation shape mismatch");
+      for (std::size_t w = 0; w < nw; ++w) {
+        const WorldOrbit& ob = orbits[w];
+        if (ob.rep == w) {
+          orbit_reps_.push_back(w);
+        } else {
+          EBA_REQUIRE(ob.rep < nw && orbits[ob.rep].rep == ob.rep &&
+                          static_cast<int>(ob.perm.size()) == n,
+                      "malformed orbit annotation");
+          orbit_members_.push_back(w);
+        }
+      }
+    }
     states_.clear();
     decisions_.assign(nw, std::vector<std::optional<Decision>>(
                               static_cast<std::size_t>(n)));
@@ -120,11 +171,21 @@ class KbpSynthesizer {
       // The synthesized table only needs representative worlds: a duplicate
       // world's states and actions are copies of its representative's, so
       // its records are byte-identical (and every world is its own
-      // representative when dedup is off). Decisions are per world.
-      for (const std::size_t w : reps_)
-        for (AgentId i = 0; i < n; ++i)
-          record(result, states_[w][static_cast<std::size_t>(i)],
-                 actions_[w][static_cast<std::size_t>(i)]);
+      // representative when dedup is off). Decisions are per world. Under
+      // orbit reuse, member worlds' states are *relabelings* of their
+      // representative's — distinct local states the table must still
+      // cover — so every world is recorded there.
+      if (orbits_) {
+        for (std::size_t w = 0; w < nw; ++w)
+          for (AgentId i = 0; i < n; ++i)
+            record(result, states_[w][static_cast<std::size_t>(i)],
+                   actions_[w][static_cast<std::size_t>(i)]);
+      } else {
+        for (const std::size_t w : reps_)
+          for (AgentId i = 0; i < n; ++i)
+            record(result, states_[w][static_cast<std::size_t>(i)],
+                   actions_[w][static_cast<std::size_t>(i)]);
+      }
       for (std::size_t w = 0; w < nw; ++w) {
         for (AgentId i = 0; i < n; ++i) {
           const Action a = actions_[w][static_cast<std::size_t>(i)];
@@ -359,13 +420,21 @@ class KbpSynthesizer {
     for (std::size_t w = 0; w < nw; ++w)
       jd0_[w] = any_jdecided0(w, m) ? 1 : 0;
 
-    // Representatives: one world per joint signature (all worlds if dedup
-    // is off). Duplicates inherit their representative's action row.
+    // Representatives: one world per joint signature among the eligible
+    // worlds — all worlds normally, orbit representatives under orbit reuse
+    // (members get relabeled copies, not evaluations; rep_of_ is only
+    // meaningful for eligible worlds then). Duplicates inherit their
+    // representative's action row.
+    const std::size_t nelig = orbits_ ? orbit_reps_.size() : nw;
+    auto eligible = [&](std::size_t idx) {
+      return orbits_ ? orbit_reps_[idx] : idx;
+    };
     reps_.clear();
     rep_of_.resize(nw);
     if (opt_.dedup_worlds) {
       std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
-      for (std::size_t w = 0; w < nw; ++w) {
+      for (std::size_t e = 0; e < nelig; ++e) {
+        const std::size_t w = eligible(e);
         std::uint64_t h = jd0_[w] ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull;
         for (int c : class_of_[w])
           h = (h ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
@@ -387,9 +456,10 @@ class KbpSynthesizer {
         rep_of_[w] = rep;
       }
     } else {
-      reps_.resize(nw);
-      for (std::size_t w = 0; w < nw; ++w) {
-        reps_[w] = w;
+      reps_.resize(nelig);
+      for (std::size_t e = 0; e < nelig; ++e) {
+        const std::size_t w = eligible(e);
+        reps_[e] = w;
         rep_of_[w] = w;
       }
     }
@@ -428,6 +498,10 @@ class KbpSynthesizer {
                      eval_stage1(reps_[r], m);
                  });
     copy_rows_to_duplicates();
+    // Orbit members need their stage-1 rows before anything reads peer
+    // worlds' decide(0) actions: both the stage-2 memo tables below and the
+    // sequential non-memoized stage-2 reads range over all worlds.
+    copy_rows_to_orbit_members();
 
     // Stage 2: the decide-1 line. "deciding_j = 0 in round m+1" is now fully
     // determined by stage 1 (stage 2 itself never assigns decide(0), so its
@@ -464,6 +538,7 @@ class KbpSynthesizer {
                      eval_stage2(reps_[r]);
                  });
     copy_rows_to_duplicates();
+    copy_rows_to_orbit_members();
   }
 
   void eval_stage1(std::size_t w, int m) {
@@ -517,18 +592,47 @@ class KbpSynthesizer {
 
   void copy_rows_to_duplicates() {
     if (!opt_.dedup_worlds) return;
-    for (std::size_t w = 0; w < rep_of_.size(); ++w)
+    auto copy = [&](std::size_t w) {
       if (rep_of_[w] != w) {
         actions_[w] = actions_[rep_of_[w]];
         assigned_[w] = assigned_[rep_of_[w]];
       }
+    };
+    // Under orbit reuse only orbit representatives carry signatures.
+    if (orbits_) {
+      for (std::size_t w : orbit_reps_) copy(w);
+    } else {
+      for (std::size_t w = 0; w < rep_of_.size(); ++w) copy(w);
+    }
+  }
+
+  /// The equivariance copy: member world w == π · rep, so agent π(i) in w
+  /// does what agent i does in rep.
+  void copy_rows_to_orbit_members() {
+    if (!orbits_) return;
+    const int n = x_.n();
+    parallel_for(
+        opt_.workers, orbit_members_.size(), kGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const std::size_t w = orbit_members_[k];
+            const WorldOrbit& ob = (*orbits_)[w];
+            for (AgentId i = 0; i < n; ++i) {
+              const auto pi = static_cast<std::size_t>(
+                  ob.perm[static_cast<std::size_t>(i)]);
+              actions_[w][pi] = actions_[ob.rep][static_cast<std::size_t>(i)];
+              assigned_[w][pi] = assigned_[ob.rep][static_cast<std::size_t>(i)];
+            }
+          }
+        });
   }
 
   void advance_round(const std::vector<World>& worlds, int m) {
     const int n = x_.n();
     using Message = typename X::Message;
+    const std::size_t count = orbits_ ? orbit_reps_.size() : worlds.size();
     parallel_for(
-        opt_.workers, worlds.size(), kGrain,
+        opt_.workers, count, kGrain,
         [&](std::size_t begin, std::size_t end) {
           // Chunk-local scratch: reset per world instead of reallocated.
           std::vector<std::optional<Message>> outgoing(
@@ -536,7 +640,8 @@ class KbpSynthesizer {
           std::vector<std::vector<std::optional<Message>>> inbox(
               static_cast<std::size_t>(n),
               std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
-          for (std::size_t w = begin; w < end; ++w) {
+          for (std::size_t e = begin; e < end; ++e) {
+            const std::size_t w = orbits_ ? orbit_reps_[e] : e;
             const FailurePattern& alpha = worlds[w].first;
             for (AgentId i = 0; i < n; ++i)
               for (AgentId j = 0; j < n; ++j)
@@ -560,6 +665,24 @@ class KbpSynthesizer {
                             inbox[static_cast<std::size_t>(i)]));
           }
         });
+    // Member states are the renamed representative states — one relabel
+    // per agent instead of a message exchange + update per world.
+    if (orbits_) {
+      parallel_for(
+          opt_.workers, orbit_members_.size(), kGrain,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+              const std::size_t w = orbit_members_[k];
+              const WorldOrbit& ob = (*orbits_)[w];
+              const Renaming ren(ob.perm);
+              for (AgentId i = 0; i < n; ++i)
+                states_[w][static_cast<std::size_t>(
+                    ob.perm[static_cast<std::size_t>(i)])] =
+                    relabel_state(
+                        states_[ob.rep][static_cast<std::size_t>(i)], ren);
+            }
+          });
+    }
   }
 
   void record(SynthesisResult<X>& result, const State& s, Action a) {
@@ -578,6 +701,11 @@ class KbpSynthesizer {
   int t_;
   KbpProgram program_;
   SynthesisOptions opt_;
+  /// Orbit annotations of the current run (null = no orbit reuse), with the
+  /// world indices split into representatives and members.
+  const std::vector<WorldOrbit>* orbits_ = nullptr;
+  std::vector<std::size_t> orbit_reps_;
+  std::vector<std::size_t> orbit_members_;
   std::vector<std::vector<State>> states_;
   std::vector<std::vector<std::optional<Decision>>> decisions_;
   std::vector<AgentSet> nonfaulty_;

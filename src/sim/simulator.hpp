@@ -30,6 +30,8 @@ struct Run {
   std::vector<std::vector<typename X::State>> states;
   std::size_t bits_sent = 0;
   std::size_t messages_sent = 0;
+
+  friend bool operator==(const Run&, const Run&) = default;
 };
 
 struct SimulateOptions {

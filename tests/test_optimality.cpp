@@ -12,6 +12,7 @@
 
 #include "failure/canonical.hpp"
 #include "failure/generators.hpp"
+#include "failure/orbit_sweep.hpp"
 #include "sim/drivers.hpp"
 #include "stats/rng.hpp"
 
@@ -75,34 +76,31 @@ INSTANTIATE_TEST_SUITE_P(Shapes, Domination,
 
 // Exhaustive domination check on small contexts: P_opt never later than
 // either limited-exchange protocol on any adversary with drops in the first
-// two rounds. One representative per renaming orbit suffices (per-agent
-// decision-round comparisons are relabeling-equivariant and every
-// preference vector is driven per orbit — tests/test_canonical.cpp), which
-// is what makes the n = 5 sweep affordable; the multiplicities are checked
-// to cover the unreduced space.
+// two rounds. One representative world per (renaming orbit × stabilizer
+// preference class) suffices (per-agent decision-round comparisons are
+// relabeling-equivariant — tests/test_canonical.cpp, tests/test_relabel.cpp),
+// which is what makes the n = 6 sweep affordable; the world weights are
+// checked to cover the unreduced (pattern × preference) space.
 TEST(DominationExhaustive, FipNeverLaterSmallContext) {
-  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{4, 1}, {5, 1}}) {
+  for (const auto& [n, t] :
+       std::vector<std::pair<int, int>>{{4, 1}, {5, 1}, {6, 1}}) {
     const auto fip = make_fip_driver(n, t);
     const auto mini = make_min_driver(n, t);
     const auto basic = make_basic_driver(n, t);
-    const auto prefs = all_preference_vectors(n);
     const EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
-    std::uint64_t covered = 0;
-    enumerate_canonical_adversaries(
-        cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
-          covered += multiplicity;
-          for (const auto& p : prefs) {
-            const RunSummary f = fip(alpha, p);
-            const RunSummary m = mini(alpha, p);
-            const RunSummary b = basic(alpha, p);
-            for (AgentId i : alpha.nonfaulty()) {
-              EXPECT_LE(f.round_of(i), m.round_of(i)) << "n=" << n;
-              EXPECT_LE(f.round_of(i), b.round_of(i)) << "n=" << n;
-            }
+    const std::uint64_t covered = for_each_representative_world(
+        cfg, [&](const FailurePattern& alpha, const std::vector<Value>& p,
+                 std::uint64_t /*weight*/) {
+          const RunSummary f = fip(alpha, p);
+          const RunSummary m = mini(alpha, p);
+          const RunSummary b = basic(alpha, p);
+          for (AgentId i : alpha.nonfaulty()) {
+            EXPECT_LE(f.round_of(i), m.round_of(i)) << "n=" << n;
+            EXPECT_LE(f.round_of(i), b.round_of(i)) << "n=" << n;
           }
           return !::testing::Test::HasFailure();
         });
-    EXPECT_EQ(covered, count_adversaries(cfg));
+    EXPECT_EQ(covered, count_adversaries(cfg) * (std::uint64_t{1} << cfg.n));
   }
 }
 

@@ -6,6 +6,7 @@
 #include "core/spec.hpp"
 #include "failure/canonical.hpp"
 #include "failure/generators.hpp"
+#include "failure/orbit_sweep.hpp"
 #include "sim/drivers.hpp"
 
 namespace eba {
@@ -109,45 +110,42 @@ TEST(Example71, FipDecidesRoundThreeOthersRoundTwelve) {
 // satisfy the EBA spec (with validity even for faulty agents and the t+2
 // termination bound) on every SO(t) pattern with drops in the first two
 // rounds and every preference vector. The sweep visits one representative
-// per agent-renaming orbit (failure/canonical.hpp): spec-satisfaction is
-// relabeling-invariant and all preference vectors are driven per orbit, so
-// representative coverage equals full coverage — which is what lets the
-// sweep reach n = 5 and n = 6 — and the orbit multiplicities are checked to
-// sum to the unreduced count.
+// world per (agent-renaming orbit × stabilizer preference class)
+// (failure/orbit_sweep.hpp): spec-satisfaction is relabeling-invariant, so
+// representative coverage equals full coverage — the run-level symmetry
+// reduction that lets the sweep reach n = 7 — and the world weights are
+// checked to sum to the unreduced (pattern × preference) count.
 class ExhaustiveSpec : public ::testing::TestWithParam<Shape> {};
 
 TEST_P(ExhaustiveSpec, AllAdversariesAllPreferences) {
   const auto [n, t] = GetParam();
   EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
-  const auto prefs = all_preference_vectors(n);
   const auto drivers = paper_drivers(n, t);
   std::uint64_t checked = 0;
-  std::uint64_t covered = 0;
-  enumerate_canonical_adversaries(
-      cfg, [&](const FailurePattern& alpha, std::uint64_t multiplicity) {
-        covered += multiplicity;
-        for (const auto& p : prefs) {
-          for (const auto& [name, drive] : drivers) {
-            const RunSummary s = drive(alpha, p);
-            const SpecReport rep = check_eba(s.record);
-            EXPECT_TRUE(rep.ok_strict())
-                << name << ": "
-                << (rep.violations.empty() ? "?" : rep.violations[0]);
-            ++checked;
-            if (::testing::Test::HasFailure()) return false;
-          }
+  const std::uint64_t covered = for_each_representative_world(
+      cfg, [&](const FailurePattern& alpha, const std::vector<Value>& p,
+               std::uint64_t /*weight*/) {
+        for (const auto& [name, drive] : drivers) {
+          const RunSummary s = drive(alpha, p);
+          const SpecReport rep = check_eba(s.record);
+          EXPECT_TRUE(rep.ok_strict())
+              << name << ": "
+              << (rep.violations.empty() ? "?" : rep.violations[0]);
+          ++checked;
+          if (::testing::Test::HasFailure()) return false;
         }
         return true;
       });
   EXPECT_GT(checked, 0u);
-  EXPECT_EQ(covered, count_adversaries(cfg))
-      << "orbit multiplicities must cover the whole space";
+  EXPECT_EQ(covered,
+            count_adversaries(cfg) * (std::uint64_t{1} << cfg.n))
+      << "representative weights must cover the whole world space";
 }
 
 INSTANTIATE_TEST_SUITE_P(Shapes, ExhaustiveSpec,
                          ::testing::Values(Shape{3, 1}, Shape{4, 1},
                                            Shape{4, 2}, Shape{5, 1},
-                                           Shape{6, 1}),
+                                           Shape{6, 1}, Shape{7, 1}),
                          [](const ::testing::TestParamInfo<Shape>& pinfo) {
                            std::string name = "n";
                            name += std::to_string(pinfo.param.n);
