@@ -27,6 +27,10 @@ bench is a named series in the SERIES registry below; passing its
       speedup of relabeling over re-simulation, every reuse row pinned
       bit-identical to re-simulation, and every representative-world spec
       sweep covering its unreduced space violation-free.
+  durability — fsync'd journal append throughput (in-memory VFS; the disk
+      row is informational), delta checkpoints staying smaller than full
+      ones, every mid-round durable crash storm matching its uninterrupted
+      records, and the torn-write sweep never surfacing a wrong record.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -321,6 +325,45 @@ def check_scale(baseline_path, fresh_path, args, failures):
                 f"cover {row.get('covered')} of {row.get('space')} worlds")
 
 
+def check_durability(baseline_path, fresh_path, args, failures):
+    """Gates BENCH_durability.json: fsync'd journal append throughput on the
+    in-memory VFS against the committed baseline (the disk row is
+    informational — gated: false), delta checkpoints staying smaller than
+    full ones, every mid-round durable crash storm matching uninterrupted
+    records, and the torn-write sweep never surfacing a wrong record."""
+    baseline, fresh = load_pair(baseline_path, fresh_path)
+
+    gate_headline_ratio("durability append",
+                        float(baseline["headline"]["records_per_sec"]),
+                        float(fresh["headline"]["records_per_sec"]),
+                        args.max_ratio, failures, unit="/s",
+                        lower_is_better=False)
+
+    if not fresh.get("headline", {}).get("ok", False):
+        failures.append("durability headline: journal reopen lost records")
+    disk = fresh.get("disk", {})
+    if not disk.get("ok", False):
+        # The disk row's throughput is not ratio-gated, but its recovery
+        # self-check still must hold.
+        failures.append("durability disk row: journal reopen lost records")
+    ckpt = fresh.get("checkpoints", {})
+    if not ckpt.get("ok", False):
+        failures.append(
+            f"durability checkpoints: delta bytes {ckpt.get('delta_bytes')} "
+            f"not smaller than full bytes {ckpt.get('full_bytes')}")
+    for row in fresh.get("crash_storms", []):
+        if not row.get("ok", False):
+            failures.append(
+                f"durability {row.get('label')}: records_equal="
+                f"{row.get('records_equal')} traces_ok={row.get('traces_ok')} "
+                f"crashes={row.get('crashes')}")
+    torn = fresh.get("torn_sweep", {})
+    if not torn.get("ok", False):
+        failures.append(
+            f"durability torn sweep: {torn.get('recovered')} recovered + "
+            f"{torn.get('rejected')} rejected of {torn.get('offsets')} tears")
+
+
 # Native-JSON bench series: each (name, checker) row grows a
 # --baseline-<name>/--fresh-<name> argument pair; the checker runs when the
 # pair is supplied and sees (baseline_path, fresh_path, args, failures).
@@ -331,6 +374,7 @@ SERIES = [
     ("adversary", check_adversary),
     ("recovery", check_recovery),
     ("scale", check_scale),
+    ("durability", check_durability),
 ]
 
 

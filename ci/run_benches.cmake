@@ -139,6 +139,22 @@ else()
   message(WARNING "bench_recovery binary not found; BENCH_recovery.json not refreshed")
 endif()
 
+# --- bench_durability: emits its own JSON on stdout --------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_durability)
+  message(STATUS "Running bench_durability (journal + delta checkpoints + torn writes, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_durability
+    RESULT_VARIABLE dur_rc
+    OUTPUT_VARIABLE dur_out
+    ERROR_VARIABLE dur_err)
+  if(NOT dur_rc EQUAL 0)
+    message(FATAL_ERROR "bench_durability failed (rc=${dur_rc}):\n${dur_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_durability.json "${dur_out}")
+else()
+  message(WARNING "bench_durability binary not found; BENCH_durability.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

@@ -12,8 +12,8 @@ std::uint8_t action_byte(const Action& a) {
   return a.value() == Value::zero ? 1 : 2;
 }
 
-std::uint64_t header_digest_of(const RunRecord& record) {
-  Digest64 d;
+std::uint64_t header_digest_of(const RunRecord& record, std::uint64_t key) {
+  KeyedDigest64 d(key);
   d.u32(static_cast<std::uint32_t>(record.n));
   d.u32(static_cast<std::uint32_t>(record.t));
   d.word(record.nonfaulty);
@@ -21,8 +21,8 @@ std::uint64_t header_digest_of(const RunRecord& record) {
   return d.value();
 }
 
-std::uint64_t pattern_digest_of(const RunRecord& record) {
-  Digest64 d;
+std::uint64_t pattern_digest_of(const RunRecord& record, std::uint64_t key) {
+  KeyedDigest64 d(key);
   d.word(record.nonfaulty);
   for (int m = 0; m < record.rounds; ++m) {
     const std::size_t um = static_cast<std::size_t>(m);
@@ -34,9 +34,10 @@ std::uint64_t pattern_digest_of(const RunRecord& record) {
   return d.value();
 }
 
-std::uint64_t round_digest_of(const RunRecord& record, int m) {
+std::uint64_t round_digest_of(const RunRecord& record, int m,
+                              std::uint64_t key) {
   const std::size_t um = static_cast<std::size_t>(m);
-  Digest64 d;
+  KeyedDigest64 d(key);
   d.u32(static_cast<std::uint32_t>(m + 1));
   for (AgentId i = 0; i < record.n; ++i)
     d.u8(action_byte(record.actions[um][static_cast<std::size_t>(i)]));
@@ -47,8 +48,9 @@ std::uint64_t round_digest_of(const RunRecord& record, int m) {
   return d.value();
 }
 
-std::uint64_t final_digest_of(const DecisionCertificate& cert) {
-  Digest64 d;
+std::uint64_t final_digest_of(const DecisionCertificate& cert,
+                              std::uint64_t key) {
+  KeyedDigest64 d(key);
   d.u64(cert.instance_id);
   d.u64(cert.pattern_digest);
   d.u64(cert.evidence.empty() ? cert.header_digest
@@ -63,24 +65,26 @@ std::uint64_t final_digest_of(const DecisionCertificate& cert) {
 }  // namespace
 
 DecisionCertificate build_certificate(const RunRecord& record,
-                                      std::uint64_t instance_id) {
+                                      std::uint64_t instance_id,
+                                      std::uint64_t key) {
   EBA_REQUIRE(record.n >= 1, "certificate over an empty record");
   DecisionCertificate cert;
   cert.instance_id = instance_id;
   cert.n = record.n;
   cert.t = record.t;
   cert.rounds = record.rounds;
-  cert.header_digest = header_digest_of(record);
-  cert.pattern_digest = pattern_digest_of(record);
+  cert.header_digest = header_digest_of(record, key);
+  cert.pattern_digest = pattern_digest_of(record, key);
 
   std::uint64_t chain = cert.header_digest;
   cert.evidence.reserve(static_cast<std::size_t>(record.rounds));
   for (int m = 0; m < record.rounds; ++m) {
     RoundEvidence link;
     link.round = m + 1;
-    link.evidence_digest = round_digest_of(record, m);
-    chain = Digest64::chain(chain, static_cast<std::uint64_t>(link.round),
-                            link.evidence_digest);
+    link.evidence_digest = round_digest_of(record, m, key);
+    chain = KeyedDigest64::chain(key, chain,
+                                 static_cast<std::uint64_t>(link.round),
+                                 link.evidence_digest);
     link.chain = chain;
     cert.evidence.push_back(link);
   }
@@ -106,19 +110,21 @@ DecisionCertificate build_certificate(const RunRecord& record,
     cert.decided_value = value;
     cert.decided_round = last_round;
   }
-  cert.final_digest = final_digest_of(cert);
+  cert.final_digest = final_digest_of(cert, key);
   return cert;
 }
 
 CertificateCheck verify_certificate(const DecisionCertificate& cert,
-                                    const RunRecord& record) {
+                                    const RunRecord& record,
+                                    std::uint64_t key) {
   CertificateCheck check;
   auto fail = [&check](std::string msg) {
     check.ok = false;
     check.errors.push_back(std::move(msg));
   };
 
-  const DecisionCertificate want = build_certificate(record, cert.instance_id);
+  const DecisionCertificate want =
+      build_certificate(record, cert.instance_id, key);
   if (cert.n != want.n || cert.t != want.t || cert.rounds != want.rounds)
     fail("certificate header (n, t, rounds) does not match the record");
   if (cert.header_digest != want.header_digest)

@@ -61,9 +61,14 @@ struct DecisionCertificate {
                          const DecisionCertificate&) = default;
 };
 
-/// Builds the certificate for a (possibly truncated) run record.
+/// Builds the certificate for a (possibly truncated) run record. With a
+/// nonzero `key` every digest slot is computed under KeyedDigest64 instead
+/// of the plain FNV core — same layout, same widths, forgery-evident to any
+/// holder of the key (key 0 reproduces the historical unkeyed bytes
+/// exactly; see audit/digest.hpp).
 [[nodiscard]] DecisionCertificate build_certificate(
-    const RunRecord& record, std::uint64_t instance_id = 0);
+    const RunRecord& record, std::uint64_t instance_id = 0,
+    std::uint64_t key = 0);
 
 struct CertificateCheck {
   bool ok = true;
@@ -74,7 +79,8 @@ struct CertificateCheck {
 /// reports every divergence (wrong chain link, edited decision, wrong
 /// pattern digest) instead of stopping at the first.
 [[nodiscard]] CertificateCheck verify_certificate(
-    const DecisionCertificate& cert, const RunRecord& record);
+    const DecisionCertificate& cert, const RunRecord& record,
+    std::uint64_t key = 0);
 
 /// Certificate codec (used inside trace files and standalone). The decoder
 /// rejects structurally impossible certificates with DecodeError.

@@ -48,4 +48,62 @@ class Digest64 {
   std::uint64_t h_ = kOffsetBasis;
 };
 
+/// Keyed variant of Digest64 (HMAC-style envelope over the same FNV core).
+///
+/// With key == 0 this is BIT-IDENTICAL to Digest64 — no inner pad is
+/// absorbed and value() returns the inner hash directly — so every durable
+/// artifact written before keys existed keeps its exact bytes, and unkeyed
+/// remains the default everywhere. With key != 0 the key is folded in twice
+/// (inner pad at absorption start, outer pass over the finished inner hash),
+/// so a verifier holding the wrong key sees a different digest in every slot
+/// and rejects with DecodeError::Kind::key_mismatch. This is tamper
+/// *detection* keyed on a shared secret, not a cryptographic MAC — see the
+/// threat model in docs/RECOVERY.md.
+class KeyedDigest64 {
+ public:
+  static constexpr std::uint64_t kInnerPad = 0x3636363636363636ull;
+  static constexpr std::uint64_t kOuterPad = 0x5c5c5c5c5c5c5c5cull;
+
+  explicit KeyedDigest64(std::uint64_t key) : key_(key) {
+    if (key_ != 0) inner_.u64(key_ ^ kInnerPad);
+  }
+
+  void u8(std::uint8_t v) { inner_.u8(v); }
+  void u32(std::uint32_t v) { inner_.u32(v); }
+  void u64(std::uint64_t v) { inner_.u64(v); }
+  void word(AgentSet s) { inner_.word(s); }
+
+  [[nodiscard]] std::uint64_t value() const {
+    if (key_ == 0) return inner_.value();
+    Digest64 outer;
+    outer.u64(key_ ^ kOuterPad);
+    outer.u64(inner_.value());
+    return outer.value();
+  }
+
+  /// Keyed chaining step; key == 0 matches Digest64::chain exactly.
+  [[nodiscard]] static std::uint64_t chain(std::uint64_t key,
+                                           std::uint64_t prev,
+                                           std::uint64_t a, std::uint64_t b) {
+    KeyedDigest64 d(key);
+    d.u64(prev);
+    d.u64(a);
+    d.u64(b);
+    return d.value();
+  }
+
+  /// Fingerprint of the key itself, stored in keyed containers so a wrong
+  /// key is diagnosed at the header instead of as a digest mismatch deep in
+  /// the payload. Not the key: recovering `key` from it needs a preimage.
+  [[nodiscard]] static std::uint64_t key_check_word(std::uint64_t key) {
+    KeyedDigest64 d(key);
+    d.u64(0x6b6579636865636bull);  // "keycheck"
+    return d.value();
+  }
+
+ private:
+  std::uint64_t key_;
+  Digest64 inner_;
+};
+
 }  // namespace eba

@@ -1,5 +1,7 @@
 #include "audit/trace_file.hpp"
 
+#include "audit/digest.hpp"
+
 namespace eba {
 namespace {
 
@@ -26,13 +28,14 @@ Action action_of(std::uint8_t b) {
 }  // namespace
 
 TraceWriter::TraceWriter(std::uint64_t instance_id, int n, int t,
-                         AgentSet nonfaulty, const std::vector<Value>& inits)
+                         AgentSet nonfaulty, const std::vector<Value>& inits,
+                         std::uint64_t key)
     : n_(n) {
   EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "trace agent count out of range");
   EBA_REQUIRE(static_cast<int>(inits.size()) == n, "trace inits size mismatch");
   for (char c : kTraceMagic) out_.push_back(static_cast<std::uint8_t>(c));
   Writer v;
-  v.u32(kTraceFormatVersion);
+  v.u32(key == 0 ? kTraceFormatVersion : kTraceFormatVersionKeyed);
   const Bytes vb = v.take();
   out_.insert(out_.end(), vb.begin(), vb.end());
 
@@ -42,6 +45,7 @@ TraceWriter::TraceWriter(std::uint64_t instance_id, int n, int t,
   w.u32(static_cast<std::uint32_t>(t));
   w.word(nonfaulty.bits(), (n + 7) / 8);
   for (Value init : inits) w.u8(static_cast<std::uint8_t>(to_int(init)));
+  if (key != 0) w.u64(KeyedDigest64::key_check_word(key));
   write_frame(out_, kFrameHeader, w.take());
 }
 
@@ -81,14 +85,15 @@ Bytes TraceWriter::finish(const DecisionCertificate& cert) {
   return std::move(out_);
 }
 
-Bytes write_trace(const RunRecord& record, std::uint64_t instance_id) {
+Bytes write_trace(const RunRecord& record, std::uint64_t instance_id,
+                  std::uint64_t key) {
   TraceWriter writer(instance_id, record.n, record.t, record.nonfaulty,
-                     record.inits);
+                     record.inits, key);
   writer.add_record_rounds(record);
-  return writer.finish(build_certificate(record, instance_id));
+  return writer.finish(build_certificate(record, instance_id, key));
 }
 
-TraceFile read_trace(const Bytes& bytes) {
+TraceFile read_trace(const Bytes& bytes, std::uint64_t key) {
   if (bytes.size() < 8)
     throw DecodeError(Kind::truncated, "container shorter than its preamble");
   for (std::size_t k = 0; k < 4; ++k)
@@ -98,11 +103,18 @@ TraceFile read_trace(const Bytes& bytes) {
   for (int b = 0; b < 4; ++b)
     version |= static_cast<std::uint32_t>(bytes[4 + static_cast<std::size_t>(b)])
                << (8 * b);
-  if (version != kTraceFormatVersion)
+  if (version != kTraceFormatVersion && version != kTraceFormatVersionKeyed)
     throw DecodeError(Kind::bad_version,
                       "trace version " + std::to_string(version) +
-                          " (this build reads version " +
-                          std::to_string(kTraceFormatVersion) + ")");
+                          " (this build reads versions " +
+                          std::to_string(kTraceFormatVersion) + " and " +
+                          std::to_string(kTraceFormatVersionKeyed) + ")");
+  if (version == kTraceFormatVersion && key != 0)
+    throw DecodeError(Kind::key_mismatch,
+                      "a key was supplied but the trace is unkeyed");
+  if (version == kTraceFormatVersionKeyed && key == 0)
+    throw DecodeError(Kind::key_mismatch,
+                      "the trace is keyed but no key was supplied");
 
   TraceFile trace;
   trace.version = version;
@@ -140,6 +152,10 @@ TraceFile read_trace(const Bytes& bytes) {
           if (b > 1) throw DecodeError(Kind::malformed, "bad init byte");
           trace.record.inits.push_back(value_of(b));
         }
+        if (version == kTraceFormatVersionKeyed &&
+            r.u64() != KeyedDigest64::key_check_word(key))
+          throw DecodeError(Kind::key_mismatch,
+                            "trace was written under a different key");
         have_header = true;
         break;
       }
@@ -219,11 +235,11 @@ std::string ReplayReport::summary() const {
   return s;
 }
 
-ReplayReport replay_verify(const Bytes& bytes) {
+ReplayReport replay_verify(const Bytes& bytes, std::uint64_t key) {
   ReplayReport report;
   TraceFile trace;
   try {
-    trace = read_trace(bytes);
+    trace = read_trace(bytes, key);
   } catch (const DecodeError& e) {
     report.error = e.what();
     return report;
@@ -234,7 +250,7 @@ ReplayReport replay_verify(const Bytes& bytes) {
   report.rounds = trace.record.rounds;
 
   const CertificateCheck check =
-      verify_certificate(trace.certificate, trace.record);
+      verify_certificate(trace.certificate, trace.record, key);
   report.cert_ok = check.ok;
   report.cert_errors = check.errors;
   report.complete = trace.certificate.decided_value.has_value();

@@ -4,12 +4,15 @@
 // Container layout (all integers little-endian; see docs/RECOVERY.md for
 // the version table):
 //
-//   magic "EBTR" · u32 version (=1) · frames…
+//   magic "EBTR" · u32 version (1 = unkeyed, 2 = keyed) · frames…
 //
 // Each frame is CRC-guarded (net/serialize.hpp write_frame/read_frame):
 //
 //   kind 1 HEADER       u64 instance_id, u32 n, u32 t,
 //                       word nonfaulty, n × u8 inits
+//                       (version 2 appends u64 key_check — the key's
+//                       fingerprint, so a wrong key is rejected at the
+//                       header as DecodeError::Kind::key_mismatch)
 //   kind 2 ROUND        u32 round (1-based, consecutive), n × u8 actions,
 //                       n × word sent, n × word delivered
 //   kind 3 CERTIFICATE  encode_certificate payload (audit/certificate.hpp)
@@ -38,14 +41,18 @@
 namespace eba {
 
 inline constexpr std::uint32_t kTraceFormatVersion = 1;
+inline constexpr std::uint32_t kTraceFormatVersionKeyed = 2;
 inline constexpr char kTraceMagic[4] = {'E', 'B', 'T', 'R'};
 
 /// Streaming trace sink: header at construction, one frame per round,
 /// certificate on finish. All in-memory; callers persist the Bytes.
 class TraceWriter {
  public:
+  /// A nonzero `key` writes a version-2 container whose header carries the
+  /// key fingerprint and whose certificate digests are keyed; key 0 writes
+  /// the historical version-1 bytes unchanged.
   TraceWriter(std::uint64_t instance_id, int n, int t, AgentSet nonfaulty,
-              const std::vector<Value>& inits);
+              const std::vector<Value>& inits, std::uint64_t key = 0);
 
   /// Appends round `rounds_written()+1`'s planes.
   void add_round(const std::vector<Action>& actions,
@@ -57,6 +64,11 @@ class TraceWriter {
   void add_record_rounds(const RunRecord& record, int from_round = 0);
 
   [[nodiscard]] int rounds_written() const { return rounds_; }
+
+  /// The container bytes accumulated so far (header + rounds, certificate
+  /// pending). FileTraceWriter (store/file_trace.hpp) streams the growing
+  /// prefix of exactly these bytes to disk.
+  [[nodiscard]] const Bytes& bytes_so_far() const { return out_; }
 
   /// Appends the certificate frame and returns the finished container.
   /// The writer is spent afterwards.
@@ -71,7 +83,8 @@ class TraceWriter {
 /// One-shot convenience: record → finished trace bytes (certificate built
 /// here).
 [[nodiscard]] Bytes write_trace(const RunRecord& record,
-                                std::uint64_t instance_id = 0);
+                                std::uint64_t instance_id = 0,
+                                std::uint64_t key = 0);
 
 /// A fully parsed trace container.
 struct TraceFile {
@@ -84,7 +97,10 @@ struct TraceFile {
 /// Parses and structurally validates a trace. Throws DecodeError (with the
 /// failing byte offset in the message) on any corruption, truncation or
 /// version skew; it never returns a partially filled trace.
-[[nodiscard]] TraceFile read_trace(const Bytes& bytes);
+/// `key` must match how the trace was written: a version-1 container
+/// demands key 0, a version-2 container demands the key whose fingerprint
+/// its header carries — otherwise DecodeError::Kind::key_mismatch.
+[[nodiscard]] TraceFile read_trace(const Bytes& bytes, std::uint64_t key = 0);
 
 /// Outcome of offline verification: parse + certificate re-derivation +
 /// EBA spec check on the replayed record.
@@ -109,6 +125,7 @@ struct ReplayReport {
 /// and — when the certificate claims a decision — the EBA spec holds on the
 /// replayed record. Truncated-horizon runs (no claimed decision) pass
 /// without the termination properties, which a cut run cannot satisfy.
-[[nodiscard]] ReplayReport replay_verify(const Bytes& bytes);
+[[nodiscard]] ReplayReport replay_verify(const Bytes& bytes,
+                                         std::uint64_t key = 0);
 
 }  // namespace eba

@@ -43,6 +43,7 @@ class DecodeError : public std::runtime_error {
     bad_version,   ///< container version unknown to this build
     crc_mismatch,  ///< frame checksum does not match its payload
     missing_frame, ///< a required frame (header, certificate) is absent
+    key_mismatch,  ///< keyed digest does not verify under the supplied key
   };
 
   DecodeError(Kind kind, const std::string& what)
@@ -61,6 +62,7 @@ class DecodeError : public std::runtime_error {
       case Kind::bad_version: return "unsupported version";
       case Kind::crc_mismatch: return "crc mismatch";
       case Kind::missing_frame: return "missing frame";
+      case Kind::key_mismatch: return "key mismatch";
     }
     return "unknown";
   }

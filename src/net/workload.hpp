@@ -62,6 +62,8 @@
 #include "sim/adaptive.hpp"
 #include "sim/stepper.hpp"
 #include "stats/rng.hpp"
+#include "store/run_log.hpp"
+#include "store/vfs.hpp"
 
 namespace eba {
 
@@ -91,8 +93,15 @@ struct AdaptiveInstanceSpec {
 /// before starting the next one. Each scheduled crash fires exactly once —
 /// a restored instance re-executes the crashed rounds without re-dying at
 /// them, so every schedule terminates. Rounds must be sorted and >= 1.
+///
+/// `mid_rounds[k]` schedules crashes *inside* a round instead: the process
+/// dies while round r is staged — its write-ahead intent is durable, no
+/// message has moved. Mid-round crashes require a durable store
+/// (WorkloadOptions::store): recovery replays the run log and completes the
+/// interrupted round from its intent record.
 struct CrashSchedule {
   std::vector<std::vector<int>> rounds;
+  std::vector<std::vector<int>> mid_rounds;
 
   /// A seeded crash storm: each instance crashes `crashes_per_instance`
   /// times at uniform rounds in [1, horizon].
@@ -112,6 +121,31 @@ struct CrashSchedule {
     }
     return out;
   }
+
+  /// A seeded mid-round crash storm: like seeded(), but every crash fires
+  /// inside the chosen round (see mid_rounds above).
+  [[nodiscard]] static CrashSchedule seeded_mid_round(
+      std::size_t instances, int horizon, std::uint64_t seed,
+      int crashes_per_instance = 1) {
+    CrashSchedule out = seeded(instances, horizon, seed, crashes_per_instance);
+    out.mid_rounds = std::move(out.rounds);
+    out.rounds.clear();
+    out.rounds.resize(instances);
+    return out;
+  }
+};
+
+/// Attaches the durable storage engine (src/store/) to a workload: each
+/// instance writes a RunLog journal under `root` + "/inst-<k>" — full
+/// checkpoints at the snapshot cadence, one delta per completed round, one
+/// write-ahead intent per staged round. Crashes then recover by power-cut +
+/// journal replay instead of from an in-memory byte vector, and mid-round
+/// crash points (CrashSchedule::mid_rounds) become available.
+struct DurableStoreOptions {
+  Vfs* vfs = nullptr;       ///< borrowed; MemVfs injects the power cuts
+  std::string root;         ///< directory holding the per-instance logs
+  JournalOptions journal;   ///< key / page size / segment roll threshold
+  int keep_checkpoints = 1; ///< GC retention: newest full checkpoints kept
 };
 
 struct WorkloadOptions {
@@ -126,6 +160,9 @@ struct WorkloadOptions {
   const CrashSchedule* crashes = nullptr;
   /// Stream one durable EBTR trace per instance (WorkloadResult::traces).
   bool record_traces = false;
+  /// Durable storage engine (borrowed; may be null). Requires a snapshot
+  /// cadence; mandatory for mid-round crash schedules.
+  const DurableStoreOptions* store = nullptr;
 };
 
 template <ExchangeProtocol X>
@@ -149,20 +186,33 @@ struct WorkloadResult {
 
 namespace detail {
 
+/// How one wire-round attempt ended: the instance completed (or was already
+/// done), the round ran but the instance continues, or the caller's staging
+/// hook aborted the round before any message moved (the stepper is then
+/// still mid-round and must be discarded — crash injection does exactly
+/// that).
+enum class RoundOutcome { completed, in_progress, aborted };
+
 /// Moves one staged round of `stepper` through its bus slot: serialize µ,
 /// exchange through the slot's adversary filter, decode each sender's
-/// payload once, δ. Returns true when the instance has completed (including
-/// "was already done"). With `sync_pattern` the slot's pattern is refreshed
+/// payload once, δ. With `sync_pattern` the slot's pattern is refreshed
 /// from the stepper after begin_round() — the adaptive hook may have just
-/// added drops for exactly this round.
-template <ExchangeProtocol X, class P>
-bool advance_wire_round(const X& x, Stepper<X, P>& stepper, BusPool& pool,
-                        BusPool::SlotId slot, bool sync_pattern) {
+/// added drops for exactly this round. `on_staged(actions)` runs at the
+/// staging point — after the actions and the round's pattern are fixed,
+/// before any payload moves — which is where the durable intent record is
+/// cut and where a mid-round power cut strikes; returning false aborts the
+/// round.
+template <ExchangeProtocol X, class P, class OnStaged>
+RoundOutcome advance_wire_round_staged(const X& x, Stepper<X, P>& stepper,
+                                       BusPool& pool, BusPool::SlotId slot,
+                                       bool sync_pattern,
+                                       OnStaged&& on_staged) {
   using Message = typename X::Message;
   const int n = x.n();
   const std::vector<Action>* actions = stepper.begin_round();
-  if (!actions) return true;
+  if (!actions) return RoundOutcome::completed;
   if (sync_pattern) pool.update_pattern(slot, stepper.pattern());
+  if (!on_staged(*actions)) return RoundOutcome::aborted;
 
   std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
   std::size_t bits = 0;
@@ -199,7 +249,18 @@ bool advance_wire_round(const X& x, Stepper<X, P>& stepper, BusPool& pool,
   }
   stepper.finish_round(inbox, std::move(res.sent), std::move(res.delivered),
                        bits, messages);
-  return stepper.done();
+  return stepper.done() ? RoundOutcome::completed : RoundOutcome::in_progress;
+}
+
+/// The plain variant: no staging hook. Returns true when the instance has
+/// completed (including "was already done").
+template <ExchangeProtocol X, class P>
+bool advance_wire_round(const X& x, Stepper<X, P>& stepper, BusPool& pool,
+                        BusPool::SlotId slot, bool sync_pattern) {
+  return advance_wire_round_staged<X, P>(
+             x, stepper, pool, slot, sync_pattern,
+             [](const std::vector<Action>&) { return true; }) !=
+         RoundOutcome::in_progress;
 }
 
 /// Round-sliced scheduler shared by both workload entry points: workers
@@ -287,18 +348,28 @@ struct ManagedInstance {
   Bytes checkpoint;                       ///< latest EBCK snapshot
   std::span<const int> crash_rounds;      ///< borrowed from the schedule
   std::size_t next_crash = 0;             ///< each entry fires once
+  std::span<const int> mid_crash_rounds;  ///< mid-round entries (store only)
+  std::size_t next_mid_crash = 0;
   std::optional<TraceWriter> trace;
+  std::optional<RunLog> log;  ///< durable run log when a store is attached
+  std::string log_dir;
 };
 
 /// Instance k's validated crash rounds (empty when none are scheduled).
-inline std::span<const int> crash_rounds_for(const CrashSchedule* crashes,
-                                             std::size_t idx) {
-  if (!crashes || idx >= crashes->rounds.size()) return {};
-  const std::vector<int>& mine = crashes->rounds[idx];
+inline std::span<const int> validated_crash_rounds(
+    const std::vector<std::vector<int>>& all, std::size_t idx) {
+  if (idx >= all.size()) return {};
+  const std::vector<int>& mine = all[idx];
   for (std::size_t k = 0; k < mine.size(); ++k)
     EBA_REQUIRE(mine[k] >= 1 && (k == 0 || mine[k] > mine[k - 1]),
                 "crash rounds must be strictly increasing and >= 1");
   return mine;
+}
+
+inline std::span<const int> crash_rounds_for(const CrashSchedule* crashes,
+                                             std::size_t idx) {
+  if (!crashes) return {};
+  return validated_crash_rounds(crashes->rounds, idx);
 }
 
 /// Shared durability setup: attaches crash schedules, opens the streaming
@@ -309,13 +380,29 @@ void prepare_durability(std::vector<ManagedInstance<X, P>>& instances,
                         WorkloadResult<X>& result) {
   EBA_REQUIRE(opt.snapshot_every >= 0, "negative snapshot cadence");
   bool any_crashes = false;
+  bool any_mid_crashes = false;
   for (std::size_t k = 0; k < instances.size(); ++k) {
     instances[k].crash_rounds = crash_rounds_for(opt.crashes, k);
     any_crashes = any_crashes || !instances[k].crash_rounds.empty();
+    if (opt.crashes)
+      instances[k].mid_crash_rounds =
+          validated_crash_rounds(opt.crashes->mid_rounds, k);
+    any_mid_crashes = any_mid_crashes || !instances[k].mid_crash_rounds.empty();
   }
-  EBA_REQUIRE(!any_crashes || opt.snapshot_every > 0,
+  EBA_REQUIRE(!(any_crashes || any_mid_crashes) || opt.snapshot_every > 0,
               "crash injection requires a snapshot cadence "
               "(WorkloadOptions::snapshot_every)");
+  EBA_REQUIRE(!any_mid_crashes || opt.store != nullptr,
+              "mid-round crash injection requires a durable store "
+              "(WorkloadOptions::store)");
+  if (opt.store) {
+    EBA_REQUIRE(opt.store->vfs != nullptr && !opt.store->root.empty(),
+                "durable store needs a vfs and a root directory");
+    EBA_REQUIRE(opt.store->keep_checkpoints >= 1,
+                "durable store must retain at least one checkpoint");
+    EBA_REQUIRE(opt.snapshot_every > 0,
+                "a durable store requires a snapshot cadence");
+  }
   if (opt.record_traces) {
     result.traces.resize(instances.size());
     for (std::size_t k = 0; k < instances.size(); ++k) {
@@ -330,6 +417,17 @@ void prepare_durability(std::vector<ManagedInstance<X, P>>& instances,
           inst.stepper,
           inst.strategy ? inst.strategy->checkpoint_state() : std::string{});
       result.snapshots_taken += 1;
+    }
+  }
+  if (opt.store) {
+    for (std::size_t k = 0; k < instances.size(); ++k) {
+      auto& inst = instances[k];
+      inst.log_dir = opt.store->root;
+      inst.log_dir += "/inst-";
+      inst.log_dir += std::to_string(k);
+      inst.log.emplace(
+          RunLog::create(*opt.store->vfs, inst.log_dir, opt.store->journal));
+      inst.log->log_checkpoint(inst.checkpoint);
     }
   }
 }
@@ -347,6 +445,33 @@ void drive_workload(const X& x, const P& act, int t, BusPool& pool,
   std::atomic<std::size_t> snapshots{0};
   std::atomic<std::size_t> crashes{0};
 
+  // Store-backed crash recovery: the power cut erases everything the
+  // instance's log did not fsync, then the journal is reopened (torn-tail
+  // scan), the newest full checkpoint restored, every logged delta round
+  // replayed-and-verified, and a trailing write-ahead intent completed.
+  // recover_run throws on any divergence, so a recovered instance is
+  // guaranteed byte-identical to the pre-crash one up to its durable edge.
+  auto restore_from_store = [&](auto& inst, std::size_t idx) {
+    const DurableStoreOptions& store = *opt.store;
+    store.vfs->power_cut(inst.log_dir + "/");
+    inst.log.emplace(RunLog::open(*store.vfs, inst.log_dir, store.journal));
+    RecoveredRun<X, P> recovered = recover_run<X, P>(
+        x, act, inst.log->journal().records(), inst.strategy);
+    if (recovered.finished_intent)
+      // Re-log the round the intent's replay completed, so a second crash
+      // never finds two intents with no delta between them.
+      inst.log->log_delta(delta_of_record(recovered.stepper.record(),
+                                          recovered.stepper.time() - 1));
+    inst.stepper = std::move(recovered.stepper);
+    inst.slot = pool.acquire(inst.stepper.pattern(), inst.stepper.time());
+    if (inst.trace) {
+      const RunRecord& rec = inst.stepper.record();
+      inst.trace.emplace(static_cast<std::uint64_t>(idx), rec.n, rec.t,
+                         rec.nonfaulty, rec.inits);
+      inst.trace->add_record_rounds(rec);
+    }
+  };
+
   auto step_one = [&](std::size_t idx) -> bool {
     auto& inst = instances[idx];
 
@@ -359,6 +484,10 @@ void drive_workload(const X& x, const P& act, int t, BusPool& pool,
       inst.next_crash += 1;
       crashes.fetch_add(1, std::memory_order_relaxed);
       pool.release(inst.slot);
+      if (opt.store) {
+        restore_from_store(inst, idx);
+        return false;  // requeue: continue from the recovered round
+      }
       std::string strategy_state;
       inst.stepper = restore_stepper<X, P>(x, act, inst.checkpoint,
                                            /*sink=*/nullptr, &strategy_state);
@@ -376,11 +505,45 @@ void drive_workload(const X& x, const P& act, int t, BusPool& pool,
       return false;  // requeue: re-execute from the snapshot
     }
 
+    // Staging hook: cut the round's durable intent record, and let a
+    // scheduled mid-round crash strike while it is the only durable trace
+    // of the round.
+    const auto on_staged = [&](const std::vector<Action>& actions) -> bool {
+      if (!inst.log) return true;
+      const int m = inst.stepper.time();
+      IntentPayload intent;
+      intent.round = m;
+      intent.actions = actions;
+      const FailurePattern& alpha = inst.stepper.pattern();
+      const int n = inst.stepper.n();
+      intent.dropped_send.reserve(static_cast<std::size_t>(n));
+      intent.dropped_receive.reserve(static_cast<std::size_t>(n));
+      for (AgentId i = 0; i < n; ++i) {
+        intent.dropped_send.push_back(alpha.dropped(m, i));
+        intent.dropped_receive.push_back(alpha.dropped_receive(m, i));
+      }
+      inst.log->log_intent(intent);
+      if (inst.next_mid_crash < inst.mid_crash_rounds.size() &&
+          m + 1 == inst.mid_crash_rounds[inst.next_mid_crash]) {
+        inst.next_mid_crash += 1;
+        return false;  // die mid-round: intent durable, no message moved
+      }
+      return true;
+    };
+
     const int before = inst.stepper.time();
-    const bool finished =
-        advance_wire_round<X, P>(x, inst.stepper, pool, inst.slot,
-                                 sync_pattern);
+    const RoundOutcome outcome = advance_wire_round_staged<X, P>(
+        x, inst.stepper, pool, inst.slot, sync_pattern, on_staged);
+    if (outcome == RoundOutcome::aborted) {
+      crashes.fetch_add(1, std::memory_order_relaxed);
+      pool.release(inst.slot);
+      restore_from_store(inst, idx);
+      return false;  // requeue: recovery completed the interrupted round
+    }
+    const bool finished = outcome == RoundOutcome::completed;
     const bool advanced = inst.stepper.time() > before;
+    if (advanced && inst.log)
+      inst.log->log_delta(delta_of_record(inst.stepper.record(), before));
     if (advanced && inst.trace) {
       const RunRecord& rec = inst.stepper.record();
       inst.trace->add_round(rec.actions.back(), rec.sent.back(),
@@ -392,6 +555,10 @@ void drive_workload(const X& x, const P& act, int t, BusPool& pool,
         inst.checkpoint = checkpoint_stepper(
             inst.stepper,
             inst.strategy ? inst.strategy->checkpoint_state() : std::string{});
+        if (inst.log) {
+          inst.log->log_checkpoint(inst.checkpoint);
+          inst.log->gc_keep_checkpoints(opt.store->keep_checkpoints);
+        }
         snapshots.fetch_add(1, std::memory_order_relaxed);
       }
       return false;

@@ -1,0 +1,69 @@
+// File-backed streaming trace writer.
+//
+// Wraps audit/trace_file.hpp's TraceWriter and streams each appended frame
+// straight to a Vfs file, so a long run never holds more than the in-memory
+// container it would have built anyway, and a crash leaves a prefix of a
+// valid EBTR container on disk (unterminated — read_trace rejects it as
+// missing its certificate, which is exactly the signal that the run never
+// finished). `finish` flushes the certificate frame and fsyncs: when it
+// returns, the complete trace is durable, and the on-disk bytes are pinned
+// identical to the in-memory writer's output (tests/test_store.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/trace_file.hpp"
+#include "store/vfs.hpp"
+
+namespace eba {
+
+class FileTraceWriter {
+ public:
+  FileTraceWriter(Vfs& vfs, const std::string& path, std::uint64_t instance_id,
+                  int n, int t, AgentSet nonfaulty,
+                  const std::vector<Value>& inits, std::uint64_t key = 0)
+      : writer_(instance_id, n, t, nonfaulty, inits, key),
+        file_(vfs.create(path)) {
+    flush();
+  }
+
+  void add_round(const std::vector<Action>& actions,
+                 const std::vector<AgentSet>& sent,
+                 const std::vector<AgentSet>& delivered) {
+    writer_.add_round(actions, sent, delivered);
+    flush();
+  }
+
+  void add_record_rounds(const RunRecord& record, int from_round = 0) {
+    writer_.add_record_rounds(record, from_round);
+    flush();
+  }
+
+  [[nodiscard]] int rounds_written() const { return writer_.rounds_written(); }
+
+  /// Appends the certificate frame, flushes it, fsyncs, and returns the
+  /// finished container (identical to what reading the file back yields).
+  [[nodiscard]] Bytes finish(const DecisionCertificate& cert) {
+    Bytes out = writer_.finish(cert);
+    file_->append(out.data() + flushed_, out.size() - flushed_);
+    flushed_ = out.size();
+    file_->sync();
+    return out;
+  }
+
+ private:
+  void flush() {
+    const Bytes& bytes = writer_.bytes_so_far();
+    file_->append(bytes.data() + flushed_, bytes.size() - flushed_);
+    flushed_ = bytes.size();
+  }
+
+  TraceWriter writer_;
+  std::unique_ptr<File> file_;
+  std::size_t flushed_ = 0;
+};
+
+}  // namespace eba

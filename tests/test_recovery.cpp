@@ -479,6 +479,189 @@ TEST(WorkloadRecoveryTest, StaticCrashStormMatchesUninterruptedPOpt) {
   expect_crash_storm_matches(FipExchange(4), POpt(4, 2), 2, 8, 402, "p_opt");
 }
 
+// -- Durable-store crash injection -------------------------------------------
+
+/// Mid-round crash storms through the durable storage engine: every
+/// instance journals checkpoints/deltas/intents to a shared MemVfs, every
+/// scheduled crash is a real power cut (unsynced bytes gone) fired while a
+/// round is staged, and recovery replays the journal. The storm's records,
+/// final states and streamed traces must be byte-identical to an
+/// uninterrupted run — the paper's §3 determinism made durable.
+template <class X, class P>
+void expect_mid_round_storm_matches(const X& x, const P& p, FailureModel model,
+                                    int t, int count, std::uint64_t seed,
+                                    const std::string& what) {
+  std::vector<InstanceSpec> specs;
+  for (int k = 0; k < count; ++k)
+    specs.push_back({seeded_pattern(x.n(), t, model, seed + 7 * k),
+                     seeded_prefs(x.n(), seed + 7 * k + 1)});
+
+  WorkloadOptions plain;
+  plain.workers = 3;
+  const auto want = run_workload(x, p, std::span(specs), t, plain);
+
+  MemVfs vfs;
+  DurableStoreOptions store;
+  store.vfs = &vfs;
+  store.root = "wl";
+  store.journal.page_size = 256;
+  store.keep_checkpoints = 2;
+
+  // Both flavors at once: boundary crashes and mid-round power cuts.
+  CrashSchedule crashes = CrashSchedule::seeded(specs.size(), t + 2, seed + 1);
+  crashes.mid_rounds =
+      CrashSchedule::seeded_mid_round(specs.size(), t + 2, seed + 2, 2)
+          .mid_rounds;
+
+  WorkloadOptions crashy;
+  crashy.workers = 3;
+  crashy.snapshot_every = 1;
+  crashy.crashes = &crashes;
+  crashy.record_traces = true;
+  crashy.store = &store;
+  const auto got = run_workload(x, p, std::span(specs), t, crashy);
+  EXPECT_GT(got.crashes_injected, specs.size()) << what;
+
+  ASSERT_EQ(got.instances.size(), want.instances.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    expect_records_equal(got.instances[k].record, want.instances[k].record,
+                         what + " instance " + std::to_string(k));
+    EXPECT_EQ(got.instances[k].final_states, want.instances[k].final_states)
+        << what << " instance " << k;
+    EXPECT_EQ(got.traces[k],
+              write_trace(got.instances[k].record,
+                          static_cast<std::uint64_t>(k)))
+        << what << " instance " << k;
+    EXPECT_TRUE(replay_verify(got.traces[k]).ok) << what << " instance " << k;
+  }
+}
+
+TEST(DurableWorkloadTest, MidRoundCrashStormMatchesUninterruptedPMin) {
+  expect_mid_round_storm_matches(MinExchange(5), PMin(5, 2),
+                                 FailureModel::sending, 2, 10, 601, "p_min");
+}
+
+TEST(DurableWorkloadTest, MidRoundCrashStormMatchesUninterruptedPBasic) {
+  expect_mid_round_storm_matches(BasicExchange(5), PBasic(5, 2),
+                                 FailureModel::sending, 2, 8, 602, "p_basic");
+}
+
+TEST(DurableWorkloadTest, MidRoundCrashStormMatchesUninterruptedPOpt) {
+  expect_mid_round_storm_matches(FipExchange(4), POpt(4, 2),
+                                 FailureModel::sending, 2, 8, 603, "p_opt");
+}
+
+TEST(DurableWorkloadTest, MidRoundCrashStormMatchesUninterruptedPOptGo) {
+  expect_mid_round_storm_matches(FipExchange(4), POptGo(4, 2),
+                                 FailureModel::general, 2, 8, 604, "p_opt_go");
+}
+
+TEST(DurableWorkloadTest, MidRoundCrashRequiresAStore) {
+  const MinExchange x(4);
+  const PMin p(4, 1);
+  std::vector<InstanceSpec> specs(
+      2, {FailurePattern::failure_free(4), std::vector<Value>(4, Value::one)});
+  const CrashSchedule crashes = CrashSchedule::seeded_mid_round(2, 3, 9);
+  WorkloadOptions opt;
+  opt.snapshot_every = 1;
+  opt.crashes = &crashes;  // mid-round entries but no store
+  EXPECT_THROW((void)run_workload(x, p, std::span(specs), 1, opt),
+               std::logic_error);
+}
+
+TEST(DurableWorkloadTest, KeyedStoreStormStaysDeterministic) {
+  // The whole durable path under a nonzero key: journals authenticate
+  // every record, traces stay unkeyed (their bytes are pinned), results
+  // unchanged.
+  const int t = 2;
+  const MinExchange x(5);
+  const PMin p(5, t);
+  std::vector<InstanceSpec> specs;
+  for (int k = 0; k < 6; ++k)
+    specs.push_back({seeded_pattern(5, t, FailureModel::sending, 701 + k),
+                     seeded_prefs(5, 711 + k)});
+  WorkloadOptions plain;
+  plain.workers = 2;
+  const auto want = run_workload(x, p, std::span(specs), t, plain);
+
+  MemVfs vfs;
+  DurableStoreOptions store;
+  store.vfs = &vfs;
+  store.root = "wl";
+  store.journal.key = 0xC0FFEEull;
+  store.journal.page_size = 256;
+  const CrashSchedule crashes =
+      CrashSchedule::seeded_mid_round(specs.size(), t + 2, 721, 2);
+  WorkloadOptions crashy;
+  crashy.workers = 2;
+  crashy.snapshot_every = 1;
+  crashy.crashes = &crashes;
+  crashy.store = &store;
+  const auto got = run_workload(x, p, std::span(specs), t, crashy);
+  EXPECT_GT(got.crashes_injected, 0u);
+  for (std::size_t k = 0; k < specs.size(); ++k)
+    expect_records_equal(got.instances[k].record, want.instances[k].record,
+                         "keyed instance " + std::to_string(k));
+  // The on-disk journal really is keyed: opening without the key fails.
+  try {
+    (void)RunLog::open(vfs, "wl/inst-0");
+    FAIL() << "keyed journal opened without its key";
+  } catch (const DecodeError& e) {
+    EXPECT_EQ(e.kind(), DecodeError::Kind::key_mismatch);
+  }
+}
+
+TEST(DurableWorkloadTest, AdaptiveMidRoundStormMatchesUninterrupted) {
+  // Adaptive strategies + durable mid-round recovery: the strategy's state
+  // blob rides in the journaled checkpoint, the realized drops ride in the
+  // write-ahead intents, and the recovered runs must still realize the
+  // exact pattern the uninterrupted adaptive runs do.
+  const int n = 4, t = 2;
+  const FipExchange x(n);
+  const POptGo p(n, t);
+
+  const int count = 6;
+  std::vector<std::vector<Value>> all_prefs;
+  std::vector<AdaptiveInstanceSpec> specs;
+  Rng rng(801);
+  const auto factories = shipped_strategies(n, t, FailureModel::general);
+  for (int k = 0; k < count; ++k) {
+    const auto prefs = sample_preferences(n, rng);
+    const auto& factory =
+        factories[static_cast<std::size_t>(k) % factories.size()];
+    specs.push_back({factory.make(static_cast<std::uint64_t>(k)), prefs});
+    all_prefs.push_back(prefs);
+  }
+
+  MemVfs vfs;
+  DurableStoreOptions store;
+  store.vfs = &vfs;
+  store.root = "wl";
+  store.journal.page_size = 256;
+  const CrashSchedule crashes =
+      CrashSchedule::seeded_mid_round(specs.size(), t + 2, 802, 2);
+  WorkloadOptions opt;
+  opt.workers = 3;
+  opt.snapshot_every = 1;
+  opt.crashes = &crashes;
+  opt.record_traces = true;
+  opt.store = &store;
+  const auto got = run_adaptive_workload(x, p, std::span(specs), t, opt);
+  EXPECT_GT(got.crashes_injected, 0u);
+
+  for (int k = 0; k < count; ++k) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    const auto& factory = factories[uk % factories.size()];
+    auto strat = factory.make(static_cast<std::uint64_t>(k));
+    const AdaptiveOutcome want = run_adaptive(x, p, *strat, all_prefs[uk], t);
+    expect_records_equal(got.instances[uk].record, want.summary.record,
+                         factory.name + " instance " + std::to_string(k));
+    EXPECT_TRUE(replay_verify(got.traces[uk]).ok)
+        << "instance " << k << ": "
+        << replay_verify(got.traces[uk]).summary();
+  }
+}
+
 TEST(WorkloadRecoveryTest, AdaptiveCrashStormMatchesUninterrupted) {
   // The full stack at once: adaptive strategies choosing drops online, the
   // wire path mirroring them, snapshots carrying strategy state, and seeded

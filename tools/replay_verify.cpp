@@ -1,18 +1,31 @@
 // replay_verify — standalone offline verifier for EBTR trace containers.
 //
-//   replay_verify <trace.ebtr>...   verify each file, print one summary line
-//                                   per file; exit nonzero if any is rejected
-//                                   or fails verification
+//   replay_verify [--key K] <trace.ebtr>...
+//                                   verify each file, print one summary line
+//                                   per file. K (decimal or 0x-hex) is the
+//                                   keyed-digest key for version-2 traces;
+//                                   omitted = 0 = unkeyed.
 //   replay_verify --selftest        adversarial self-test: round-trips traces
-//                                   for several protocols, then asserts that
-//                                   every truncation, every single-bit flip,
-//                                   a version bump and a magic corruption are
-//                                   rejected with a typed diagnostic
+//                                   for several protocols (keyed and unkeyed),
+//                                   then asserts that every truncation, every
+//                                   single-bit flip, a version bump, a magic
+//                                   corruption, a wrong key and an empty input
+//                                   are rejected with a typed diagnostic
+//
+// Exit codes (scriptable; the worst category across all files wins, with
+// precedence missing/unreadable > parse failure > verification failure):
+//   0  every file parsed and verified
+//   1  some file parsed but failed verification or the EBA spec
+//   2  usage error (bad flag, malformed --key, no files)
+//   3  some file was missing or unreadable
+//   4  some file did not parse (corrupt, truncated, wrong key, or empty)
 //
 // The verifier re-parses the container, re-derives the decision certificate
 // from the replayed rounds, and re-checks the EBA spec (core/spec.hpp) —
 // the paper's §5 spec-as-oracle run offline against a durable artifact.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -36,22 +49,71 @@ namespace {
 
 using namespace eba;
 
-int verify_files(const std::vector<std::string>& paths) {
-  int failures = 0;
+// Exit codes; kMissing > kParse > kVerify is the precedence when several
+// files fail in different ways.
+constexpr int kOk = 0;
+constexpr int kVerify = 1;
+constexpr int kUsage = 2;
+constexpr int kMissing = 3;
+constexpr int kParse = 4;
+
+int worse(int a, int b) {
+  // Severity order: 3 (missing) > 4 (parse) > 1 (verify) > 0.
+  const auto rank = [](int code) {
+    switch (code) {
+      case kMissing: return 3;
+      case kParse: return 2;
+      case kVerify: return 1;
+      default: return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+int verify_files(const std::vector<std::string>& paths, std::uint64_t key) {
+  int exit_code = kOk;
   for (const std::string& path : paths) {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
       std::cout << path << ": cannot open\n";
-      failures += 1;
+      exit_code = worse(exit_code, kMissing);
       continue;
     }
     Bytes bytes((std::istreambuf_iterator<char>(in)),
                 std::istreambuf_iterator<char>());
-    const ReplayReport report = replay_verify(bytes);
+    if (!in.good() && !in.eof()) {
+      std::cout << path << ": read error\n";
+      exit_code = worse(exit_code, kMissing);
+      continue;
+    }
+    if (bytes.empty()) {
+      std::cout << path << ": empty file — not a trace container\n";
+      exit_code = worse(exit_code, kParse);
+      continue;
+    }
+    const ReplayReport report = replay_verify(bytes, key);
     std::cout << path << ": " << report.summary() << "\n";
-    if (!report.ok) failures += 1;
+    if (!report.parsed)
+      exit_code = worse(exit_code, kParse);
+    else if (!report.ok)
+      exit_code = worse(exit_code, kVerify);
   }
-  return failures == 0 ? 0 : 1;
+  return exit_code;
+}
+
+/// Parses a --key operand: decimal or 0x-prefixed hex, full-string match.
+bool parse_key(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const bool hex =
+      text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X');
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v =
+      std::strtoull(text.c_str() + (hex ? 2 : 0), &end, hex ? 16 : 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  if (text.find('-') != std::string::npos) return false;  // no wrap-around
+  out = v;
+  return true;
 }
 
 #define CHECK(cond, what)                                                \
@@ -153,6 +215,47 @@ int selftest() {
     ok = adversarial_pass(trace, "adaptive_p_opt_go");
   }
 
+  // Keyed containers: the right key verifies, every wrong key (including
+  // "no key") is a typed rejection, never an accept.
+  if (ok) {
+    const int n = 6, t = 2;
+    const MinExchange x(n);
+    const PMin act(n, t);
+    Rng rng(21);
+    const FailurePattern alpha = sample_adversary(n, t, t + 2, 0.3, rng);
+    std::vector<Value> inits;
+    for (AgentId i = 0; i < n; ++i)
+      inits.push_back(i % 2 == 0 ? Value::one : Value::zero);
+    const Run<MinExchange> run = simulate(x, act, alpha, inits, t);
+    const std::uint64_t key = 0xFEEDFACECAFEull;
+    const Bytes keyed = write_trace(run.record, 21, key);
+    const auto keyed_ok = [&]() -> bool {
+      CHECK(replay_verify(keyed, key).ok, "keyed: pristine trace rejected");
+      const ReplayReport wrong = replay_verify(keyed, key ^ 1);
+      CHECK(!wrong.parsed && !wrong.ok, "keyed: wrong key accepted");
+      const ReplayReport unkeyed = replay_verify(keyed);
+      CHECK(!unkeyed.parsed, "keyed: keyless read accepted");
+      const ReplayReport v1_as_keyed = replay_verify(write_trace(run.record, 21), key);
+      CHECK(!v1_as_keyed.parsed, "keyed: unkeyed container passed a keyed read");
+      // The keyed container gets the same adversarial battery, under its key.
+      for (std::size_t at = 0; at < keyed.size(); ++at) {
+        Bytes m = keyed;
+        m[at] ^= static_cast<std::uint8_t>(1u << (at % 8));
+        CHECK(!replay_verify(m, key).ok,
+              "keyed: bit flip at byte " + std::to_string(at) + " accepted");
+      }
+      return true;
+    };
+    ok = keyed_ok();
+  }
+
+  // Degenerate inputs: empty bytes must be a clean typed rejection.
+  if (ok) {
+    const ReplayReport empty = replay_verify(Bytes{});
+    ok = !empty.parsed && !empty.ok;
+    if (!ok) std::cerr << "SELFTEST FAIL: empty input accepted\n";
+  }
+
   if (!ok) {
     std::cerr << "replay_verify selftest: FAILED\n";
     return 1;
@@ -165,10 +268,36 @@ int selftest() {
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "--selftest") == 0) return selftest();
-  if (argc < 2) {
-    std::cerr << "usage: replay_verify <trace.ebtr>... | --selftest\n";
-    return 2;
+
+  const auto usage = []() {
+    std::cerr
+        << "usage: replay_verify [--key <decimal|0xhex>] <trace.ebtr>...\n"
+        << "       replay_verify --selftest\n";
+    return kUsage;
+  };
+
+  std::uint64_t key = 0;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--key") {
+      if (i + 1 >= argc) {
+        std::cerr << "replay_verify: --key needs a value\n";
+        return usage();
+      }
+      i += 1;
+      if (!parse_key(argv[i], key)) {
+        std::cerr << "replay_verify: bad --key value '" << argv[i]
+                  << "' (want decimal or 0x-hex u64)\n";
+        return usage();
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "replay_verify: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
   }
-  std::vector<std::string> paths(argv + 1, argv + argc);
-  return verify_files(paths);
+  if (paths.empty()) return usage();
+  return verify_files(paths, key);
 }
