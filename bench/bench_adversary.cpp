@@ -269,7 +269,9 @@ int fuzz_smoke() {
   for (const auto& [kind, n, t, iters] :
        {std::tuple{ProtocolKind::p_opt, 8, 2, 10},
         std::tuple{ProtocolKind::p_opt_go, 8, 2, 10},
-        std::tuple{ProtocolKind::p_min, 16, 4, 20}}) {
+        std::tuple{ProtocolKind::p_min, 16, 4, 20},
+        std::tuple{ProtocolKind::early_stop, 16, 4, 20},
+        std::tuple{ProtocolKind::authenticated, 16, 4, 20}}) {
     FuzzConfig cfg;
     cfg.n = n;
     cfg.t = t;
@@ -355,6 +357,10 @@ int main(int argc, char** argv) {
   fuzz.push_back(
       run_fuzz_row("fuzz_p_basic_n32", ProtocolKind::p_basic, 32, 6, 60));
   fuzz.push_back(run_fuzz_row("fuzz_p_min_n64", ProtocolKind::p_min, 64, 8, 60));
+  fuzz.push_back(
+      run_fuzz_row("fuzz_p_es_n32", ProtocolKind::early_stop, 32, 6, 60));
+  fuzz.push_back(
+      run_fuzz_row("fuzz_p_auth_n32", ProtocolKind::authenticated, 32, 6, 60));
 
   // --- human-readable report (stderr) --------------------------------------
   std::cerr << "=== bench_adversary: worst-case search, adaptive "

@@ -31,6 +31,9 @@ bench is a named series in the SERIES registry below; passing its
       row is informational), delta checkpoints staying smaller than full
       ones, every mid-round durable crash storm matching its uninterrupted
       records, and the torn-write sweep never surfacing a wrong record.
+  zoo        — protocol comparison matrix (bench_zoo): headline matrix wall
+      time, strict spec on every run, the early stoppers' min(f+2, t+2)
+      round bound, and the P_opt <= P_es <= P_basic domination order.
 
 Only hot-path benchmarks are gated, and the threshold is deliberately
 coarse (2x): the committed baseline and a CI runner are different machines,
@@ -364,6 +367,42 @@ def check_durability(baseline_path, fresh_path, args, failures):
             f"{torn.get('rejected')} rejected of {torn.get('offsets')} tears")
 
 
+def check_zoo(baseline_path, fresh_path, args, failures):
+    """Gates BENCH_zoo.json (protocol comparison matrix): headline matrix
+    wall time against the committed baseline, plus every boolean bit —
+    strict spec on all 70 runs, the early stoppers' min(f+2, t+2) round
+    bound, and the per-agent P_opt <= P_es <= P_basic domination order."""
+    baseline, fresh = load_pair(baseline_path, fresh_path)
+
+    gate_headline_ratio("zoo headline matrix",
+                        float(baseline["headline"]["seconds"]),
+                        float(fresh["headline"]["seconds"]),
+                        args.max_ratio, failures)
+
+    headline = fresh.get("headline", {})
+    if headline.get("smoke", True):
+        failures.append("zoo headline: fresh report is a --smoke run, not "
+                        "the full matrix")
+    for bit in ("spec_ok", "bounds_ok", "domination_ok"):
+        if not headline.get(bit, False):
+            failures.append(f"zoo headline: {bit} is false")
+
+    rows = fresh.get("matrix", [])
+    if not rows:
+        failures.append("fresh zoo report has no matrix rows")
+    protocols = {row.get("protocol") for row in rows}
+    missing = {"P_min", "P_basic", "P_opt", "P_es", "P_auth"} - protocols
+    if missing:
+        failures.append(f"zoo matrix is missing protocols: {sorted(missing)}")
+    for row in rows:
+        label = (f"{row.get('protocol')} n={row.get('n')} t={row.get('t')} "
+                 f"f={row.get('f')}")
+        if not row.get("spec_ok", False):
+            failures.append(f"zoo {label}: EBA spec violated")
+        if not row.get("bound_ok", False):
+            failures.append(f"zoo {label}: early-stopping round bound missed")
+
+
 # Native-JSON bench series: each (name, checker) row grows a
 # --baseline-<name>/--fresh-<name> argument pair; the checker runs when the
 # pair is supplied and sees (baseline_path, fresh_path, args, failures).
@@ -375,6 +414,7 @@ SERIES = [
     ("recovery", check_recovery),
     ("scale", check_scale),
     ("durability", check_durability),
+    ("zoo", check_zoo),
 ]
 
 

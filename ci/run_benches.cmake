@@ -155,6 +155,22 @@ else()
   message(WARNING "bench_durability binary not found; BENCH_durability.json not refreshed")
 endif()
 
+# --- bench_zoo: emits its own JSON on stdout ---------------------------------
+if(EXISTS ${BENCH_BIN_DIR}/bench_zoo)
+  message(STATUS "Running bench_zoo (protocol comparison matrix, native JSON)")
+  execute_process(
+    COMMAND ${BENCH_BIN_DIR}/bench_zoo
+    RESULT_VARIABLE zoo_rc
+    OUTPUT_VARIABLE zoo_out
+    ERROR_VARIABLE zoo_err)
+  if(NOT zoo_rc EQUAL 0)
+    message(FATAL_ERROR "bench_zoo failed (rc=${zoo_rc}):\n${zoo_err}")
+  endif()
+  file(WRITE ${REPO_ROOT}/BENCH_zoo.json "${zoo_out}")
+else()
+  message(WARNING "bench_zoo binary not found; BENCH_zoo.json not refreshed")
+endif()
+
 # --- report benches: capture stdout into {name, exit_code, seconds, report} -
 set(report_benches
   bench_ablation

@@ -7,4 +7,5 @@ cmake --build build -j
 cd build
 ctest --output-on-failure -j
 ./bench_adversary --fuzz-smoke
+./bench_zoo --smoke > /dev/null
 ./replay_verify --selftest

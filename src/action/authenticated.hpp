@@ -1,0 +1,31 @@
+// P_auth: the early-stopping rule over the authenticated exchange E_auth.
+//
+// The decision rule is early_stop_rule verbatim — authentication changes
+// what the *exchange* accepts (a bad signature becomes an omission), not
+// what the evidence means. Under pure omission failures nobody forges, so
+// P_auth decides in exactly the rounds P_es does while paying 64 extra
+// bits per message; the comparison matrix in bench_zoo quantifies that.
+#pragma once
+
+#include "action/early_stop.hpp"
+#include "core/types.hpp"
+#include "exchange/authenticated.hpp"
+
+namespace eba {
+
+class PAuth {
+ public:
+  PAuth(int n, int t) : n_(n), t_(t) {
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "P_auth requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] Action operator()(const AuthState& s) const {
+    return early_stop_rule(s, n_, t_);
+  }
+
+ private:
+  int n_;
+  int t_;
+};
+
+}  // namespace eba

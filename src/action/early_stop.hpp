@@ -1,0 +1,71 @@
+// P_es: the early-stopping EBA baseline over E_report (per the
+// Abraham–Dolev early-stopping line, PAPERS.md), deciding in
+// min(f+2, t+2) rounds where f is the number of *realized* faults:
+//
+//   if decided                                  -> noop
+//   if time >= 1 and budget_common              -> decide(1)
+//   if init=0 or jd=0                           -> decide(0)
+//   if jd=1                                     -> decide(1)
+//   if time >= 1 and |faults ∪ zeros| < time    -> decide(1)
+//   if #1 > n - time                            -> decide(1)
+//   if time = t+1                               -> decide(1)
+//   otherwise                                   -> noop
+//
+// The count test is the early-stopping engine: a hidden 0-chain alive at
+// time m has m distinct members, and every one of them is either convicted
+// faulty (all its 0-bearing reports were dropped — µ never sends ⊥) or in
+// the zeros set (a sticky 0-report arrived non-freshly; a fresh one would
+// have decided us at the jd rule). So |faults ∪ zeros| < time refutes every
+// chain. The #1 test is P_basic's positive-evidence twin (p_basic.hpp),
+// needed so P_es dominates P_basic pointwise: the chain's first m members
+// all carry decided_ever = 0 by round m, so > n - m reports without it
+// refute every chain directly — even when the realized faults already
+// exhaust the |faults ∪ zeros| < time budget (e.g. f = t agents each
+// dropping a single edge in round 1). The budget_common test fires *above*
+// the jd rules, mirroring
+// P_opt's common-before-conditional ordering: when it fires it fires
+// simultaneously at every nonfaulty agent (the bit depends only on the
+// candidate report matrix, identical everywhere in SO), so a faulty chain
+// tail delivering a last-instant jd=0 to one agent cannot split the
+// outcome. See docs/PROTOCOL_ZOO.md for the full arguments and the round
+// numbering (decided *round* ≤ min(f+2, t+2); decided *time* — the state
+// time at which the decision is chosen — ≤ min(f+1, t+1)).
+#pragma once
+
+#include "core/types.hpp"
+#include "exchange/report.hpp"
+
+namespace eba {
+
+/// The decision rule, shared verbatim by P_es over E_report and P_auth over
+/// E_auth (the authenticated state embeds the same evidence fields).
+template <class S>
+[[nodiscard]] Action early_stop_rule(const S& s, int n, int t) {
+  if (s.decided) return Action::noop();
+  if (s.time >= 1 && s.budget_common) return Action::decide(Value::one);
+  if (s.init == Value::zero || s.jd == Value::zero)
+    return Action::decide(Value::zero);
+  if (s.jd == Value::one) return Action::decide(Value::one);
+  if (s.time >= 1 && s.faults.united(s.zeros).size() < s.time)
+    return Action::decide(Value::one);
+  if (s.ones > n - s.time) return Action::decide(Value::one);
+  if (s.time == t + 1) return Action::decide(Value::one);
+  return Action::noop();
+}
+
+class PEarlyStop {
+ public:
+  PEarlyStop(int n, int t) : n_(n), t_(t) {
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "P_es requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] Action operator()(const ReportState& s) const {
+    return early_stop_rule(s, n_, t_);
+  }
+
+ private:
+  int n_;
+  int t_;
+};
+
+}  // namespace eba

@@ -1,0 +1,37 @@
+#include "exchange/authenticated.hpp"
+
+namespace eba {
+
+std::size_t hash_value(const AuthState& s) {
+  auto enc = [](const std::optional<Value>& v) -> std::size_t {
+    return v ? (*v == Value::zero ? 1u : 2u) : 0u;
+  };
+  std::size_t h = static_cast<std::size_t>(s.time);
+  h = h * 31 + static_cast<std::size_t>(to_int(s.init));
+  h = h * 31 + enc(s.decided);
+  h = h * 31 + enc(s.jd);
+  h = h * 1000003 + static_cast<std::size_t>(s.zeros.bits());
+  h = h * 1000003 + static_cast<std::size_t>(s.faults.bits());
+  h = h * 31 + static_cast<std::size_t>(s.budget_common);
+  h = h * 31 + static_cast<std::size_t>(s.ones);
+  h = h * 31 + static_cast<std::size_t>(s.self);
+  return h;
+}
+
+void AuthExchange::update(State& s, const Action& a,
+                          std::span<const std::optional<Message>> inbox) const {
+  EBA_REQUIRE(static_cast<int>(inbox.size()) == n_, "inbox size mismatch");
+  // δ runs on the pre-round state: the signatures in this inbox were
+  // produced at the senders' pre-round time, which equals s.time in a
+  // synchronous round.
+  const int round_time = s.time;
+  detail::accumulate_report_round(
+      n_, t_, s, a, [&](AgentId j) -> const ReportMsg* {
+        const auto& m = inbox[static_cast<std::size_t>(j)];
+        if (!m) return nullptr;
+        if (m->sig != sign(j, s.self, round_time, m->payload)) return nullptr;
+        return &m->payload;
+      });
+}
+
+}  // namespace eba

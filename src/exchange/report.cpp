@@ -1,0 +1,29 @@
+#include "exchange/report.hpp"
+
+namespace eba {
+
+std::size_t hash_value(const ReportState& s) {
+  auto enc = [](const std::optional<Value>& v) -> std::size_t {
+    return v ? (*v == Value::zero ? 1u : 2u) : 0u;
+  };
+  std::size_t h = static_cast<std::size_t>(s.time);
+  h = h * 31 + static_cast<std::size_t>(to_int(s.init));
+  h = h * 31 + enc(s.decided);
+  h = h * 31 + enc(s.jd);
+  h = h * 1000003 + static_cast<std::size_t>(s.zeros.bits());
+  h = h * 1000003 + static_cast<std::size_t>(s.faults.bits());
+  h = h * 31 + static_cast<std::size_t>(s.budget_common);
+  h = h * 31 + static_cast<std::size_t>(s.ones);
+  return h;
+}
+
+void ReportExchange::update(State& s, const Action& a,
+                            std::span<const std::optional<Message>> inbox) const {
+  EBA_REQUIRE(static_cast<int>(inbox.size()) == n_, "inbox size mismatch");
+  detail::accumulate_report_round(n_, t_, s, a, [&](AgentId j) {
+    const auto& m = inbox[static_cast<std::size_t>(j)];
+    return m ? &*m : nullptr;
+  });
+}
+
+}  // namespace eba

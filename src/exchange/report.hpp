@@ -1,0 +1,185 @@
+// E_report(n, t): the fault-report exchange behind the early-stopping
+// baseline (cf. Abraham–Dolev's early-stopping line, PAPERS.md).
+//
+// Unlike E_min/E_basic, µ never returns ⊥: every agent broadcasts a report
+// every round, so a missing inbox slot convicts the sender of a sending
+// omission on the spot. Reports carry the sender's fresh decision (so jd
+// works as everywhere else), its sticky decided-ever value, and two gossip
+// sets — agents it knows to have decided 0 and agents it knows to be faulty.
+// Local states accumulate both sets plus the `budget_common` bit: the
+// round's reports prove the faulty set is exactly of size t, every
+// remaining agent already knew that set, and none of them has (or reports)
+// a 0-decision — a simultaneous all-clear for deciding 1 (see
+// docs/PROTOCOL_ZOO.md for the safety argument).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "core/agent_set.hpp"
+#include "core/types.hpp"
+#include "exchange/exchange.hpp"
+
+namespace eba {
+
+/// One per-round report. `fresh_decide` is set exactly in the sender's
+/// decision round (the EBA-context jd channel); `decided_ever` is sticky.
+struct ReportMsg {
+  std::optional<Value> fresh_decide;
+  std::optional<Value> decided_ever;
+  AgentSet zeros;   ///< agents the sender knows to have decided 0
+  AgentSet faults;  ///< agents the sender knows to be faulty
+
+  friend bool operator==(const ReportMsg&, const ReportMsg&) = default;
+};
+
+struct ReportState {
+  int time = 0;
+  Value init = Value::zero;
+  std::optional<Value> decided;
+  std::optional<Value> jd;
+  AgentSet zeros;   ///< agents known to have decided 0
+  AgentSet faults;  ///< agents known to be faulty (convicted or gossiped)
+  bool budget_common = false;  ///< last round proved the t-fault all-clear
+  /// "#1": last round's delivered reports with decided_ever ≠ 0. An
+  /// undecided sender necessarily has init 1 (init-0 agents decide at time
+  /// 0), so this is E_report's analog of E_basic's init1 count and feeds
+  /// the same `ones > n - time` hidden-chain test (action/early_stop.hpp).
+  int ones = 0;
+
+  friend bool operator==(const ReportState&, const ReportState&) = default;
+};
+
+[[nodiscard]] std::size_t hash_value(const ReportState& s);
+
+class ReportExchange {
+ public:
+  using State = ReportState;
+  using Message = ReportMsg;
+  /// µ ignores the destination: reports are broadcast.
+  static constexpr bool kBroadcast = true;
+
+  ReportExchange(int n, int t) : n_(n), t_(t) {
+    EBA_REQUIRE(n >= 1 && n <= kMaxAgents, "agent count out of range");
+    EBA_REQUIRE(t >= 0 && n - t >= 2, "E_report requires 0 <= t <= n-2");
+  }
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int t() const { return t_; }
+
+  [[nodiscard]] State initial_state(AgentId /*i*/, Value init) const {
+    return State{.time = 0,
+                 .init = init,
+                 .decided = {},
+                 .jd = {},
+                 .zeros = {},
+                 .faults = {},
+                 .budget_common = false,
+                 .ones = 0};
+  }
+
+  /// Never ⊥: silence is a conviction, so even decided agents keep
+  /// broadcasting their sticky report.
+  [[nodiscard]] std::optional<Message> message(const State& s, const Action& a,
+                                               AgentId /*dest*/) const {
+    Message m;
+    if (a.is_decide()) m.fresh_decide = a.value();
+    m.decided_ever = a.is_decide() ? std::optional<Value>(a.value()) : s.decided;
+    m.zeros = s.zeros;
+    m.faults = s.faults;
+    return m;
+  }
+
+  /// Two optional-value tags (2 bits each) plus two n-bit agent sets.
+  [[nodiscard]] std::size_t message_bits(const Message& /*m*/) const {
+    return 2 * static_cast<std::size_t>(n_) + 4;
+  }
+
+  void update(State& s, const Action& a,
+              std::span<const std::optional<Message>> inbox) const;
+
+ private:
+  int n_;
+  int t_;
+};
+
+namespace detail {
+
+/// The δ core shared by E_report and E_auth (authenticated.hpp): `msg_at(j)`
+/// yields the round's report from agent j as a `const ReportMsg*`, or
+/// nullptr for ⊥ — E_auth maps signature-check failures to nullptr, so a
+/// forged payload is indistinguishable from an omission. `S` must expose
+/// the ReportState evidence fields (time, decided, jd, zeros, faults,
+/// budget_common).
+template <class S, class Lookup>
+void accumulate_report_round(int n, int t, S& s, const Action& a,
+                             Lookup&& msg_at) {
+  s.time += 1;
+  if (a.is_decide()) {
+    EBA_REQUIRE(!s.decided, "double decision reached the exchange");
+    s.decided = a.value();
+  }
+
+  // Conviction: µ never returns ⊥, so an empty slot means the sender
+  // dropped a send (it is faulty in SO). Self-delivery always succeeds, so
+  // an agent never convicts itself here. Gossiped faults are sound by
+  // induction on rounds.
+  bool heard0 = false;
+  bool heard1 = false;
+  int ones = 0;
+  AgentSet faults = s.faults;
+  AgentSet zeros = s.zeros;
+  for (AgentId j = 0; j < n; ++j) {
+    const ReportMsg* m = msg_at(j);
+    if (!m) {
+      faults.insert(j);
+      continue;
+    }
+    if (m->fresh_decide == Value::zero) heard0 = true;
+    if (m->fresh_decide == Value::one) heard1 = true;
+    faults = faults.united(m->faults);
+    zeros = zeros.united(m->zeros);
+    if (m->decided_ever == Value::zero)
+      zeros.insert(j);
+    else
+      ones += 1;
+  }
+  s.jd = jd_from_decisions(heard0, heard1);
+  s.ones = ones;
+
+  // The budget-common bit: the faulty set is pinned at exactly t, and every
+  // candidate (= agent outside it, including self) delivered a report that
+  // already named that exact set and carried no trace of a 0-decision.
+  // When |faults| == t, faults is the true faulty set (conviction is
+  // sound), so the candidates are exactly the nonfaulty agents, whose
+  // broadcasts reach every receiver in SO — the bit is computed from an
+  // identical report matrix everywhere and fires simultaneously.
+  bool budget = faults.size() == t;
+  if (budget) {
+    for (AgentId j : faults.complement(n)) {
+      const ReportMsg* m = msg_at(j);
+      if (!m || m->faults != faults || !m->zeros.empty() ||
+          m->decided_ever == Value::zero) {
+        budget = false;
+        break;
+      }
+    }
+  }
+  s.budget_common = budget;
+  s.faults = faults;
+  s.zeros = zeros;
+}
+
+}  // namespace detail
+
+}  // namespace eba
+
+template <>
+struct std::hash<eba::ReportState> {
+  std::size_t operator()(const eba::ReportState& s) const noexcept {
+    return eba::hash_value(s);
+  }
+};

@@ -72,6 +72,41 @@ BusPool::RoundResult BusPool::exchange_round(
   return res;
 }
 
+BusPool::RoundResult BusPool::exchange_round(
+    SlotId id, std::vector<std::vector<std::optional<Bytes>>> outbox) {
+  // Same threading contract as the broadcast overload: no lock, one worker
+  // per slot at a time.
+  EBA_REQUIRE(id < slots_.size() && slots_[id].busy,
+              "exchange_round on a slot that is not in use");
+  Slot& slot = slots_[id];
+  const FailurePattern& alpha = *slot.alpha;
+  const int n = alpha.n();
+  EBA_REQUIRE(static_cast<int>(outbox.size()) == n, "outbox size mismatch");
+
+  RoundResult res;
+  res.round = slot.round;
+  res.inbox.assign(
+      static_cast<std::size_t>(n),
+      std::vector<std::optional<Bytes>>(static_cast<std::size_t>(n)));
+  res.sent.assign(static_cast<std::size_t>(n), AgentSet{});
+  res.delivered.assign(static_cast<std::size_t>(n), AgentSet{});
+  for (AgentId from = 0; from < n; ++from) {
+    auto& row = outbox[static_cast<std::size_t>(from)];
+    EBA_REQUIRE(static_cast<int>(row.size()) == n, "outbox row size mismatch");
+    for (AgentId to = 0; to < n; ++to) {
+      auto& payload = row[static_cast<std::size_t>(to)];
+      if (!payload) continue;
+      if (to != from) res.sent[static_cast<std::size_t>(from)].insert(to);
+      if (!alpha.delivered(slot.round, from, to)) continue;
+      res.inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+          std::move(*payload);
+      if (to != from) res.delivered[static_cast<std::size_t>(from)].insert(to);
+    }
+  }
+  slot.round += 1;
+  return res;
+}
+
 void BusPool::update_pattern(SlotId id, const FailurePattern& alpha) {
   // No lock, as in exchange_round: only the slot's current worker calls in.
   EBA_REQUIRE(id < slots_.size() && slots_[id].busy,

@@ -64,6 +64,16 @@ class BusPool {
   [[nodiscard]] RoundResult exchange_round(
       SlotId id, std::vector<std::optional<Bytes>> outbox);
 
+  /// Per-destination variant for non-broadcast exchanges (outbox[from][to] =
+  /// the payload `from` addresses to `to`, nullopt = ⊥). sent[from] collects
+  /// the receivers (excluding `from`) with a non-⊥ payload; delivery is
+  /// filtered per (from, to) edge, and a payload addressed to self always
+  /// arrives — the semantics of the stepper's per-destination µ loop
+  /// (sim/stepper.hpp generic_round), which the wire path must mirror
+  /// bit-for-bit.
+  [[nodiscard]] RoundResult exchange_round(
+      SlotId id, std::vector<std::vector<std::optional<Bytes>>> outbox);
+
   /// Replaces the slot's failure pattern mid-instance. The adaptive
   /// workload driver (net/workload.hpp run_adaptive_workload) mirrors each
   /// stepper's online drops into the slot after begin_round(), before the

@@ -157,6 +157,32 @@ void decode_message(Reader& r, BasicMsg& m) {
   m = static_cast<BasicMsg>(b);
 }
 
+void encode_message(Writer& w, const ReportMsg& m) {
+  w.u8(opt_value_tag(m.fresh_decide));
+  w.u8(opt_value_tag(m.decided_ever));
+  w.u64(m.zeros.bits());
+  w.u64(m.faults.bits());
+}
+void decode_message(Reader& r, ReportMsg& m) {
+  m.fresh_decide = opt_value_of(r.u8(), "fresh_decide");
+  m.decided_ever = opt_value_of(r.u8(), "decided_ever");
+  m.zeros = AgentSet(r.u64());
+  m.faults = AgentSet(r.u64());
+  // A fresh decision is sticky by construction; a payload claiming a fresh
+  // decide without the matching decided_ever never left a real µ.
+  if (m.fresh_decide && m.decided_ever != m.fresh_decide)
+    reject(Kind::malformed, "fresh_decide without matching decided_ever");
+}
+
+void encode_message(Writer& w, const AuthMsg& m) {
+  encode_message(w, m.payload);
+  w.u64(m.sig);
+}
+void decode_message(Reader& r, AuthMsg& m) {
+  decode_message(r, m.payload);
+  m.sig = r.u64();
+}
+
 // Packed graph payload: header (n, time), then for each receiver row in
 // round-major order the known and value planes as ceil(n/8)-byte words, then
 // the two preference plane words. This ships the in-memory representation
@@ -422,6 +448,74 @@ void decode_state(Reader& r, FipState& s) {
   // lazily with identical contents (excluded from state equality).
   s.inferred = {};
   s.knowledge = {};
+}
+
+namespace {
+
+void encode_report_core(Writer& w, const ReportState& s) {
+  w.u32(static_cast<std::uint32_t>(s.time));
+  w.u8(static_cast<std::uint8_t>(to_int(s.init)));
+  w.u8(opt_value_tag(s.decided));
+  w.u8(opt_value_tag(s.jd));
+  w.u64(s.zeros.bits());
+  w.u64(s.faults.bits());
+  w.u8(s.budget_common ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(s.ones));
+}
+
+void decode_report_core(Reader& r, ReportState& s) {
+  s.time = static_cast<int>(r.u32());
+  if (s.time < 0 || s.time > 4096) reject(Kind::malformed, "bad state time");
+  const std::uint8_t init = r.u8();
+  if (init > 1) reject(Kind::malformed, "bad state init byte");
+  s.init = value_of(init);
+  s.decided = opt_value_of(r.u8(), "decided");
+  s.jd = opt_value_of(r.u8(), "jd");
+  s.zeros = AgentSet(r.u64());
+  s.faults = AgentSet(r.u64());
+  const std::uint8_t budget = r.u8();
+  if (budget > 1) reject(Kind::malformed, "bad budget_common byte");
+  s.budget_common = budget != 0;
+  const std::uint8_t ones = r.u8();
+  if (ones > kMaxAgents) reject(Kind::malformed, "bad ones count");
+  s.ones = ones;
+}
+
+}  // namespace
+
+void encode_state(Writer& w, const ReportState& s) {
+  encode_report_core(w, s);
+}
+
+void decode_state(Reader& r, ReportState& s) { decode_report_core(r, s); }
+
+void encode_state(Writer& w, const AuthState& s) {
+  // AuthState is ReportState's evidence plus the agent's own id.
+  encode_report_core(w, ReportState{.time = s.time,
+                                    .init = s.init,
+                                    .decided = s.decided,
+                                    .jd = s.jd,
+                                    .zeros = s.zeros,
+                                    .faults = s.faults,
+                                    .budget_common = s.budget_common,
+                                    .ones = s.ones});
+  w.u8(static_cast<std::uint8_t>(s.self));
+}
+
+void decode_state(Reader& r, AuthState& s) {
+  ReportState core;
+  decode_report_core(r, core);
+  s.time = core.time;
+  s.init = core.init;
+  s.decided = core.decided;
+  s.jd = core.jd;
+  s.zeros = core.zeros;
+  s.faults = core.faults;
+  s.budget_common = core.budget_common;
+  s.ones = core.ones;
+  const std::uint8_t self = r.u8();
+  if (self >= kMaxAgents) reject(Kind::malformed, "bad state agent id");
+  s.self = static_cast<AgentId>(self);
 }
 
 }  // namespace eba

@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "exchange/authenticated.hpp"
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
 #include "exchange/min.hpp"
+#include "exchange/report.hpp"
 #include "failure/pattern.hpp"
 #include "graph/comm_graph.hpp"
 
@@ -138,6 +140,16 @@ void decode_message(Reader& r, BasicMsg& m);
 void encode_message(Writer& w, const std::shared_ptr<const CommGraph>& m);
 void decode_message(Reader& r, std::shared_ptr<const CommGraph>& m);
 
+// E_report messages (fault/zero report).
+void encode_message(Writer& w, const ReportMsg& m);
+void decode_message(Reader& r, ReportMsg& m);
+
+// E_auth messages (signed report). The decoder checks the container shape
+// only; signature verification belongs to δ, which maps a bad signature to
+// an omission rather than a decode failure.
+void encode_message(Writer& w, const AuthMsg& m);
+void decode_message(Reader& r, AuthMsg& m);
+
 void encode_graph(Writer& w, const CommGraph& g);
 [[nodiscard]] CommGraph decode_graph(Reader& r);
 
@@ -169,6 +181,10 @@ void encode_state(Writer& w, const BasicState& s);
 void decode_state(Reader& r, BasicState& s);
 void encode_state(Writer& w, const FipState& s);
 void decode_state(Reader& r, FipState& s);
+void encode_state(Writer& w, const ReportState& s);
+void decode_state(Reader& r, ReportState& s);
+void encode_state(Writer& w, const AuthState& s);
+void decode_state(Reader& r, AuthState& s);
 
 template <class Message>
 [[nodiscard]] Bytes to_bytes(const Message& m) {

@@ -214,37 +214,74 @@ RoundOutcome advance_wire_round_staged(const X& x, Stepper<X, P>& stepper,
   if (sync_pattern) pool.update_pattern(slot, stepper.pattern());
   if (!on_staged(*actions)) return RoundOutcome::aborted;
 
-  std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
   std::size_t bits = 0;
   std::size_t messages = 0;
-  for (AgentId i = 0; i < n; ++i) {
-    const std::optional<Message> m =
-        x.message(stepper.states()[static_cast<std::size_t>(i)],
-                  (*actions)[static_cast<std::size_t>(i)], /*dest=*/0);
-    if (!m) continue;
-    bits += static_cast<std::size_t>(n - 1) * x.message_bits(*m);
-    messages += static_cast<std::size_t>(n - 1);
-    outbox[static_cast<std::size_t>(i)] = to_bytes(*m);
+  BusPool::RoundResult res;
+  if constexpr (BroadcastExchange<X>) {
+    std::vector<std::optional<Bytes>> outbox(static_cast<std::size_t>(n));
+    for (AgentId i = 0; i < n; ++i) {
+      const std::optional<Message> m =
+          x.message(stepper.states()[static_cast<std::size_t>(i)],
+                    (*actions)[static_cast<std::size_t>(i)], /*dest=*/0);
+      if (!m) continue;
+      bits += static_cast<std::size_t>(n - 1) * x.message_bits(*m);
+      messages += static_cast<std::size_t>(n - 1);
+      outbox[static_cast<std::size_t>(i)] = to_bytes(*m);
+    }
+    res = pool.exchange_round(slot, std::move(outbox));
+  } else {
+    // Per-destination staging: µ is evaluated once per (sender, receiver)
+    // edge and each edge ships its own payload, mirroring the stepper's
+    // per-destination loop (generic_round) — same bit/message accounting
+    // (self-addressed payloads are free), same always-delivered self edge.
+    std::vector<std::vector<std::optional<Bytes>>> outbox(
+        static_cast<std::size_t>(n),
+        std::vector<std::optional<Bytes>>(static_cast<std::size_t>(n)));
+    for (AgentId i = 0; i < n; ++i) {
+      for (AgentId j = 0; j < n; ++j) {
+        const std::optional<Message> m =
+            x.message(stepper.states()[static_cast<std::size_t>(i)],
+                      (*actions)[static_cast<std::size_t>(i)], /*dest=*/j);
+        if (!m) continue;
+        if (j != i) {
+          bits += x.message_bits(*m);
+          messages += 1;
+        }
+        outbox[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            to_bytes(*m);
+      }
+    }
+    res = pool.exchange_round(slot, std::move(outbox));
   }
-
-  BusPool::RoundResult res = pool.exchange_round(slot, std::move(outbox));
 
   // Every receiver's copy of a broadcast payload is bit-identical, so
   // each sender's payload is decoded once and the decoded value shared
   // across its receivers — exactly as the abstract simulator shares µ's
   // result (the thread-per-agent model decoded per receiver by necessity).
+  // Per-destination payloads are distinct by construction and decode once
+  // per delivered edge.
   std::vector<std::vector<std::optional<Message>>> inbox(
       static_cast<std::size_t>(n),
       std::vector<std::optional<Message>>(static_cast<std::size_t>(n)));
   for (AgentId from = 0; from < n; ++from) {
-    std::optional<Message> decoded;
-    for (AgentId to = 0; to < n; ++to) {
-      const auto& payload = res.inbox[static_cast<std::size_t>(to)]
-                                     [static_cast<std::size_t>(from)];
-      if (!payload) continue;
-      if (!decoded) decoded = from_bytes<Message>(*payload);
-      inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
-          *decoded;
+    if constexpr (BroadcastExchange<X>) {
+      std::optional<Message> decoded;
+      for (AgentId to = 0; to < n; ++to) {
+        const auto& payload = res.inbox[static_cast<std::size_t>(to)]
+                                       [static_cast<std::size_t>(from)];
+        if (!payload) continue;
+        if (!decoded) decoded = from_bytes<Message>(*payload);
+        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+            *decoded;
+      }
+    } else {
+      for (AgentId to = 0; to < n; ++to) {
+        const auto& payload = res.inbox[static_cast<std::size_t>(to)]
+                                       [static_cast<std::size_t>(from)];
+        if (!payload) continue;
+        inbox[static_cast<std::size_t>(to)][static_cast<std::size_t>(from)] =
+            from_bytes<Message>(*payload);
+      }
     }
   }
   stepper.finish_round(inbox, std::move(res.sent), std::move(res.delivered),
@@ -590,10 +627,11 @@ template <ExchangeProtocol X, class P>
 WorkloadResult<X> run_workload(const X& x, const P& act,
                                std::span<const InstanceSpec> specs, int t,
                                const WorkloadOptions& opt = {}) {
-  // The byte bus fans one payload out to every receiver; an exchange whose
-  // µ depends on the destination would silently send wrong payloads here.
-  static_assert(BroadcastExchange<X>,
-                "run_workload requires a broadcast exchange (X::kBroadcast)");
+  // Broadcast exchanges stage one payload per sender per round; exchanges
+  // with destination-dependent µ (E_auth) stage one per (sender, receiver)
+  // edge through the bus's per-destination overload. Both paths mirror the
+  // stepper's in-memory accounting exactly (tests/test_zoo.cpp pins the
+  // three-engine equality for the per-destination path).
   WorkloadResult<X> result;
   result.instances.resize(specs.size());
   result.latency_us.assign(specs.size(), 0.0);
@@ -628,8 +666,6 @@ WorkloadResult<X> run_adaptive_workload(const X& x, const P& act,
                                         std::span<AdaptiveInstanceSpec> specs,
                                         int t,
                                         const WorkloadOptions& opt = {}) {
-  static_assert(BroadcastExchange<X>,
-                "run_adaptive_workload requires a broadcast exchange");
   WorkloadResult<X> result;
   result.instances.resize(specs.size());
   result.latency_us.assign(specs.size(), 0.0);

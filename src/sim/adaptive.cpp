@@ -2,13 +2,18 @@
 
 #include <sstream>
 
+#include "action/authenticated.hpp"
+#include "action/early_stop.hpp"
 #include "action/p_basic.hpp"
 #include "action/p_min.hpp"
 #include "action/p_opt.hpp"
 #include "action/p_opt_go.hpp"
+#include "exchange/authenticated.hpp"
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
 #include "exchange/min.hpp"
+#include "exchange/report.hpp"
+#include "sim/drivers.hpp"
 #include "stats/rng.hpp"
 
 namespace eba {
@@ -229,6 +234,16 @@ AdaptiveDriver make_adaptive_driver(ProtocolKind k, int n, int t,
       return [=](AdversaryStrategy& s, const std::vector<Value>& inits) {
         return run_adaptive(FipExchange(n),
                             POptGo(n, t, POptGo::CommonKnowledge::disabled),
+                            s, inits, t, opt);
+      };
+    case ProtocolKind::early_stop:
+      return [=](AdversaryStrategy& s, const std::vector<Value>& inits) {
+        return run_adaptive(ReportExchange(n, t), PEarlyStop(n, t), s, inits,
+                            t, opt);
+      };
+    case ProtocolKind::authenticated:
+      return [=](AdversaryStrategy& s, const std::vector<Value>& inits) {
+        return run_adaptive(AuthExchange(n, t, kDefaultAuthKey), PAuth(n, t),
                             s, inits, t, opt);
       };
   }

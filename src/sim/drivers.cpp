@@ -1,12 +1,16 @@
 #include "sim/drivers.hpp"
 
+#include "action/authenticated.hpp"
+#include "action/early_stop.hpp"
 #include "action/p_basic.hpp"
 #include "action/p_min.hpp"
 #include "action/p_opt.hpp"
 #include "action/p_opt_go.hpp"
+#include "exchange/authenticated.hpp"
 #include "exchange/basic.hpp"
 #include "exchange/fip.hpp"
 #include "exchange/min.hpp"
+#include "exchange/report.hpp"
 #include "sim/stepper.hpp"
 
 namespace eba {
@@ -92,6 +96,20 @@ RunDriver make_go_p0_driver(int n, int t, DriveOptions opt) {
   };
 }
 
+RunDriver make_early_stop_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(ReportExchange(n, t), PEarlyStop(n, t), alpha, inits, t,
+                     opt);
+  };
+}
+
+RunDriver make_auth_driver(int n, int t, DriveOptions opt) {
+  return [=](const FailurePattern& alpha, const std::vector<Value>& inits) {
+    return summarize(AuthExchange(n, t, kDefaultAuthKey), PAuth(n, t), alpha,
+                     inits, t, opt);
+  };
+}
+
 const char* to_string(ProtocolKind k) {
   switch (k) {
     case ProtocolKind::p_min:
@@ -106,6 +124,10 @@ const char* to_string(ProtocolKind k) {
       return "P_opt_go";
     case ProtocolKind::p_opt_go_p0:
       return "P_opt_go_p0";
+    case ProtocolKind::early_stop:
+      return "P_es";
+    case ProtocolKind::authenticated:
+      return "P_auth";
   }
   return "?";
 }
@@ -130,6 +152,10 @@ RunDriver make_driver(ProtocolKind k, int n, int t, DriveOptions opt) {
       return make_go_driver(n, t, opt);
     case ProtocolKind::p_opt_go_p0:
       return make_go_p0_driver(n, t, opt);
+    case ProtocolKind::early_stop:
+      return make_early_stop_driver(n, t, opt);
+    case ProtocolKind::authenticated:
+      return make_auth_driver(n, t, opt);
   }
   EBA_REQUIRE(false, "unknown protocol kind");
   return {};

@@ -48,6 +48,17 @@ RunDriver make_go_driver(int n, int t, DriveOptions opt = {});
 /// Ablation: the GO evaluation of P0 (P_opt_go with the common-knowledge
 /// lines disabled) — correct in γ_go but not optimal.
 RunDriver make_go_p0_driver(int n, int t, DriveOptions opt = {});
+/// P_es over E_report — the early-stopping baseline, deciding in
+/// min(f+2, t+2) rounds where f is the realized fault count.
+RunDriver make_early_stop_driver(int n, int t, DriveOptions opt = {});
+/// P_auth over E_auth — the signature-authenticated variant of P_es, and
+/// the library's first per-destination (non-broadcast) exchange. The
+/// default master key is fixed; pass another to model key rotation.
+RunDriver make_auth_driver(int n, int t, DriveOptions opt = {});
+
+/// The shared master key the authenticated driver signs under when the
+/// caller does not supply one.
+inline constexpr std::uint64_t kDefaultAuthKey = 0x656261'617574'68ull;
 
 /// Every shipped action protocol, for table-driven consumers (the fuzz
 /// harness, the adversary benches, objective evaluators) that pick drivers
@@ -59,6 +70,9 @@ enum class ProtocolKind : std::uint8_t {
   p_opt_p0,     ///< P0 over E_fip (common-knowledge lines ablated)
   p_opt_go,
   p_opt_go_p0,  ///< GO evaluation of P0
+  // New kinds append here: the fuzz harness seeds runs with the enum value.
+  early_stop,   ///< P_es over E_report (early stopping, min(f+2, t+2))
+  authenticated,  ///< P_auth over E_auth (signed per-destination reports)
 };
 
 [[nodiscard]] const char* to_string(ProtocolKind k);

@@ -34,7 +34,8 @@ TEST(FuzzSweep, AllShippedProtocolsCleanAtN8) {
   for (ProtocolKind kind :
        {ProtocolKind::p_min, ProtocolKind::p_basic, ProtocolKind::p_opt,
         ProtocolKind::p_opt_p0, ProtocolKind::p_opt_go,
-        ProtocolKind::p_opt_go_p0}) {
+        ProtocolKind::p_opt_go_p0, ProtocolKind::early_stop,
+        ProtocolKind::authenticated}) {
     const FuzzReport rep = run_fuzz(sweep_config(kind, 8, 40));
     EXPECT_TRUE(rep.ok()) << to_string(kind) << ": " << rep.violations
                           << " violations in " << rep.runs << " runs";
@@ -45,8 +46,11 @@ TEST(FuzzSweep, AllShippedProtocolsCleanAtN8) {
 TEST(FuzzSweep, CheapProtocolsCleanAtN16) {
   // The FIP state at n=16 is heavyweight; the exchange-light protocols
   // cover the large-n regime here, the FIPs at n=8 above and in
-  // bench_adversary's large-n rows.
-  for (ProtocolKind kind : {ProtocolKind::p_min, ProtocolKind::p_basic}) {
+  // bench_adversary's large-n rows. The zoo baselines (report-set states,
+  // no graphs) are cheap enough to ride along.
+  for (ProtocolKind kind :
+       {ProtocolKind::p_min, ProtocolKind::p_basic, ProtocolKind::early_stop,
+        ProtocolKind::authenticated}) {
     const FuzzReport rep = run_fuzz(sweep_config(kind, 16, 60));
     EXPECT_TRUE(rep.ok()) << to_string(kind);
   }

@@ -154,5 +154,116 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ExhaustiveSpec,
                            return name;
                          });
 
+// The protocol-zoo baselines (P_es over E_report, P_auth over E_auth) under
+// the same exhaustive representative-world sweep, plus the early-stopping
+// round bound on every swept world: with f realized faults, every agent
+// decides in round ≤ min(f+2, t+2) — equivalently at state time
+// ≤ min(f+1, t+1), which implies the classical min(f+2, t+1) early-stopping
+// *time* bound (see docs/PROTOCOL_ZOO.md on the round-vs-time numbering).
+class ZooExhaustive : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ZooExhaustive, SpecAndEarlyStoppingBound) {
+  const auto [n, t] = GetParam();
+  EnumerationConfig cfg{.n = n, .t = t, .rounds = 2};
+  const std::vector<std::pair<const char*, RunDriver>> drivers = {
+      {"P_es", make_early_stop_driver(n, t)},
+      {"P_auth", make_auth_driver(n, t)},
+  };
+  std::uint64_t checked = 0;
+  const std::uint64_t covered = for_each_representative_world(
+      cfg, [&](const FailurePattern& alpha, const std::vector<Value>& p,
+               std::uint64_t /*weight*/) {
+        const int f = alpha.num_faulty();
+        const int bound = std::min(f + 2, t + 2);
+        for (const auto& [name, drive] : drivers) {
+          const RunSummary s = drive(alpha, p);
+          const SpecReport rep = check_eba(s.record);
+          EXPECT_TRUE(rep.ok_strict())
+              << name << ": "
+              << (rep.violations.empty() ? "?" : rep.violations[0]);
+          for (AgentId i = 0; i < n; ++i)
+            EXPECT_LE(s.round_of(i), bound)
+                << name << " agent " << i << " missed the early-stopping "
+                << "bound min(f+2, t+2) with f=" << f;
+          ++checked;
+          if (::testing::Test::HasFailure()) return false;
+        }
+        return true;
+      });
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(covered, count_adversaries(cfg) * (std::uint64_t{1} << cfg.n))
+      << "representative weights must cover the whole world space";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ZooExhaustive,
+                         ::testing::Values(Shape{3, 1}, Shape{4, 1},
+                                           Shape{4, 2}, Shape{5, 1},
+                                           Shape{5, 2}),
+                         [](const ::testing::TestParamInfo<Shape>& pinfo) {
+                           std::string name = "n";
+                           name += std::to_string(pinfo.param.n);
+                           name += "t";
+                           name += std::to_string(pinfo.param.t);
+                           return name;
+                         });
+
+// Failure-free behaviour of the zoo baselines: any 0 preference decides 0
+// by round 2; unanimous 1 decides 1 in round 2 (f=0 ⇒ the count test fires
+// at time 1) — the low-f regime where early stopping beats P_min's fixed
+// t+2 (pinned against P_min in test_zoo.cpp).
+TEST_P(FailureFree, ZooBaselinesDecideByRoundTwo) {
+  const auto [n, t] = GetParam();
+  const auto alpha = FailurePattern::failure_free(n);
+  const std::vector<std::pair<const char*, RunDriver>> drivers = {
+      {"P_es", make_early_stop_driver(n, t)},
+      {"P_auth", make_auth_driver(n, t)},
+  };
+  for (const auto& [name, drive] : drivers) {
+    const RunSummary ones_run = drive(alpha, all_ones(n));
+    for (AgentId i = 0; i < n; ++i) {
+      EXPECT_EQ(ones_run.round_of(i), 2) << name << " agent " << i;
+      EXPECT_EQ(ones_run.decisions[static_cast<std::size_t>(i)]->value,
+                Value::one)
+          << name;
+    }
+    EXPECT_TRUE(check_eba(ones_run.record).ok_strict()) << name;
+    for (AgentId z = 0; z < n; ++z) {
+      const RunSummary s = drive(alpha, ones_with_zero_at(n, z));
+      for (AgentId i = 0; i < n; ++i) {
+        ASSERT_TRUE(s.decisions[static_cast<std::size_t>(i)].has_value())
+            << name << " agent " << i;
+        EXPECT_EQ(s.decisions[static_cast<std::size_t>(i)]->value, Value::zero)
+            << name;
+        EXPECT_LE(s.round_of(i), 2) << name;
+      }
+      EXPECT_TRUE(check_eba(s.record).ok_strict()) << name;
+    }
+  }
+}
+
+// Example 7.1's world for the zoo baselines: t silent faulty agents,
+// unanimous 1. The budget-common test pins the faulty set at exactly t in
+// round 2 and fires simultaneously: both baselines decide in round 3, the
+// same round as P_opt (f = t is early stopping's worst case; the win is at
+// low f).
+TEST(Example71, ZooBaselinesDecideRoundThree) {
+  const int n = 20;
+  const int t = 10;
+  AgentSet silent;
+  for (AgentId i = 0; i < t; ++i) silent.insert(i);
+  const auto alpha = silent_agents_pattern(n, silent, t + 3);
+  const auto prefs = all_ones(n);
+
+  for (const auto& [name, drive] :
+       std::vector<std::pair<const char*, RunDriver>>{
+           {"P_es", make_early_stop_driver(n, t)},
+           {"P_auth", make_auth_driver(n, t)}}) {
+    const RunSummary s = drive(alpha, prefs);
+    for (AgentId i : alpha.nonfaulty())
+      EXPECT_EQ(s.round_of(i), 3) << name << " agent " << i;
+    EXPECT_TRUE(check_eba(s.record).ok()) << name;
+  }
+}
+
 }  // namespace
 }  // namespace eba
